@@ -1,0 +1,170 @@
+(* Benchmark harness: regenerates every table/figure of the evaluation
+   (E1-E12, see DESIGN.md and EXPERIMENTS.md), then runs Bechamel
+   micro-benchmarks of the hot path behind each experiment.
+
+   Usage: dune exec bench/main.exe [-- --quick] [-- --tables-only]. *)
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+let tables_only = Array.exists (( = ) "--tables-only") Sys.argv
+let micro_only = Array.exists (( = ) "--micro-only") Sys.argv
+let markdown = Array.exists (( = ) "--markdown") Sys.argv
+
+(* ------------------------------------------------------------------ *)
+(* Paper tables *)
+
+let print_tables () =
+  List.iter
+    (fun (_id, table) ->
+      Printf.printf "\n";
+      if markdown then print_string (Stats.Table.render_markdown table)
+      else Stats.Table.print table)
+    (Exper.Experiments.all ~quick ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one per table, measuring the mechanism the
+   corresponding experiment leans on. *)
+
+let bench_reliable_roundtrip () =
+  (* E1's subject: a broadcast fanned out and delivered *)
+  let engine = Sim.Engine.create ~seed:1 () in
+  let group =
+    Broadcast.Endpoint.create_group engine ~n:3
+      ~latency:(Net.Latency.Constant (Sim.Time.of_us 100)) ()
+  in
+  let eps = Broadcast.Endpoint.endpoints group in
+  Array.iter (fun ep -> Broadcast.Endpoint.set_deliver ep (fun _ -> ())) eps;
+  fun () ->
+    ignore (Broadcast.Endpoint.broadcast eps.(0) `Reliable 0);
+    Sim.Engine.run_until engine
+      (Sim.Time.add (Sim.Engine.now engine) (Sim.Time.of_ms 1))
+
+let bench_delay_queue () =
+  (* E2's subject: causal hold-back bookkeeping *)
+  fun () ->
+    let q = Broadcast.Delay_queue.create ~n:4 in
+    for i = 1 to 8 do
+      let vc = Array.make 4 0 in
+      vc.(0) <- i;
+      ignore
+        (Broadcast.Delay_queue.offer q ~origin:0
+           ~vc:(Lclock.Vector_clock.of_array vc) i)
+    done
+
+let bench_vector_clock () =
+  (* E3's subject: causality tests behind implicit acknowledgments *)
+  let a = Lclock.Vector_clock.of_array [| 5; 9; 2; 7; 1 |] in
+  let b = Lclock.Vector_clock.of_array [| 5; 8; 3; 7; 1 |] in
+  fun () ->
+    ignore (Lclock.Vector_clock.compare_causal a b);
+    ignore (Lclock.Vector_clock.merge a b)
+
+let bench_lock_cycle () =
+  (* E4's subject: acquire/refuse/release under no-wait *)
+  let txn i = Db.Txn_id.make ~origin:0 ~local:i in
+  fun () ->
+    let lm =
+      Db.Lock_manager.create ~policy:Db.Lock_manager.No_wait
+        ~on_grant:(fun _ _ _ -> ())
+    in
+    ignore (Db.Lock_manager.acquire lm ~txn:(txn 1) 1 Db.Lock_manager.Exclusive);
+    ignore (Db.Lock_manager.acquire lm ~txn:(txn 2) 1 Db.Lock_manager.Exclusive);
+    Db.Lock_manager.release_all lm (txn 1)
+
+let bench_atomic_txn () =
+  (* E5's subject: one update transaction end to end (atomic protocol) *)
+  fun () ->
+    let engine = Sim.Engine.create ~seed:2 () in
+    let history = Verify.History.create () in
+    let module P = Repdb.Atomic_proto in
+    let sys = P.create engine (Repdb.Config.default ~n_sites:3) ~history in
+    ignore
+      (P.submit sys ~origin:0 (Repdb.Op.write_only [ (1, 1) ]) ~on_done:(fun _ -> ()));
+    Sim.Engine.run_until engine (Sim.Time.of_ms 50)
+
+let bench_wfg_detection () =
+  (* E6's subject: waits-for-graph cycle search *)
+  let txn i = Db.Txn_id.make ~origin:i ~local:i in
+  let edges = List.init 100 (fun i -> (txn i, txn ((i + 1) mod 101))) in
+  fun () -> ignore (Db.Deadlock.find_cycle edges)
+
+let bench_store_apply () =
+  (* E7's subject: installing replicated write sets *)
+  fun () ->
+    let store = Db.Version_store.create () in
+    for i = 0 to 19 do
+      ignore (Db.Version_store.apply store [ (i, i) ])
+    done
+
+let bench_snapshot_read () =
+  (* E8's subject: read-only snapshot reads *)
+  let store = Db.Version_store.create () in
+  for i = 1 to 50 do
+    ignore (Db.Version_store.apply store [ (i mod 10, i) ])
+  done;
+  fun () ->
+    for k = 0 to 9 do
+      ignore (Db.Version_store.read_at store ~index:25 k)
+    done
+
+let bench_order_state () =
+  (* E9's subject: total-order bookkeeping *)
+  let mid i = { Broadcast.Msg_id.origin = 0; cls = Broadcast.Msg_id.Total; seq = i } in
+  fun () ->
+    let o = Broadcast.Order_state.create () in
+    for i = 0 to 15 do
+      ignore (Broadcast.Order_state.note_arrival o (mid i) i);
+      ignore (Broadcast.Order_state.note_order o (mid i) ~global_seq:i)
+    done
+
+let run_micro () =
+  let open Bechamel in
+  let stage name f = Test.make ~name (Staged.stage (f ())) in
+  let tests =
+    Test.make_grouped ~name:"bcastdb"
+      [
+        stage "e1: reliable broadcast roundtrip" bench_reliable_roundtrip;
+        stage "e2: causal delay queue (8 offers)" bench_delay_queue;
+        stage "e3: vector clock compare+merge" bench_vector_clock;
+        stage "e4: no-wait lock conflict cycle" bench_lock_cycle;
+        stage "e5: atomic protocol txn end-to-end" bench_atomic_txn;
+        stage "e6: waits-for cycle search (100 edges)" bench_wfg_detection;
+        stage "e7: apply 20 write sets" bench_store_apply;
+        stage "e8: snapshot read (10 keys)" bench_snapshot_read;
+        stage "e9: total-order bookkeeping (16 msgs)" bench_order_state;
+      ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if quick then 0.25 else 1.0))
+      ()
+  in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let table =
+    Stats.Table.create ~title:"Micro-benchmarks (ns per operation)"
+      ~columns:[ "benchmark"; "ns/op" ]
+  in
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, ols) ->
+         let estimate =
+           match Analyze.OLS.estimates ols with
+           | Some (x :: _) -> Printf.sprintf "%.0f" x
+           | Some [] | None -> "n/a"
+         in
+         Stats.Table.add_row table [ name; estimate ]);
+  print_newline ();
+  Stats.Table.print table
+
+let () =
+  Printf.printf
+    "bcastdb benchmark harness -- reproduces the evaluation of\n\
+     \"Using Broadcast Primitives in Replicated Databases\" (ICDCS 1998).\n\
+     Mode: %s\n"
+    (if quick then "quick" else "full");
+  if not micro_only then print_tables ();
+  if not tables_only then run_micro ()

@@ -1,0 +1,200 @@
+(* Command-line driver.
+
+   repdb_sim run <protocol> [options]   — one simulation, full report
+   repdb_sim exper [E1..E12] [--quick]  — regenerate evaluation tables
+   repdb_sim list                       — protocols and experiments *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* run *)
+
+let run_cmd protocol n_sites txns mpl seed ro_fraction theta n_keys reads writes
+    ack_delay_ms no_ack early batch flood loss_rate verbose =
+  match Repdb.Protocol.of_name protocol with
+  | None ->
+    Printf.eprintf "unknown protocol %S (try: baseline reliable causal atomic)\n"
+      protocol;
+    exit 2
+  | Some proto ->
+    let profile =
+      {
+        Workload.default with
+        Workload.n_keys;
+        reads_per_txn = reads;
+        writes_per_txn = writes;
+        ro_fraction;
+        zipf_theta = theta;
+      }
+    in
+    let config =
+      {
+        (Repdb.Config.default ~n_sites) with
+        Repdb.Config.ack_delay =
+          (if no_ack then None else Some (Sim.Time.of_ms ack_delay_ms));
+        early_ww_abort = early;
+        atomic_batch_writes = batch;
+        flood;
+        loss =
+          (if loss_rate > 0.0 then
+             Some { Net.Network.drop_probability = loss_rate; rto = Sim.Time.of_ms 20 }
+           else None);
+      }
+    in
+    let spec =
+      Exper.Runner.spec ~config ~profile ~txns_per_site:txns ~mpl ~seed ~n_sites
+        proto
+    in
+    let r = Exper.Runner.run spec in
+    Printf.printf "protocol       : %s\n" r.Exper.Runner.protocol_name;
+    Printf.printf "sites          : %d   txns/site: %d   mpl: %d   seed: %d\n"
+      n_sites txns mpl seed;
+    Printf.printf "committed      : %d\n" r.Exper.Runner.committed;
+    Printf.printf "aborted        : %d (%.1f%%)\n" r.Exper.Runner.aborted
+      (100.0 *. Exper.Runner.abort_rate r);
+    Printf.printf "undecided      : %d\n" r.Exper.Runner.undecided;
+    List.iter
+      (fun (reason, count) ->
+        Format.printf "  %a: %d@."
+          Verify.History.pp_outcome (Verify.History.Aborted reason) count)
+      r.Exper.Runner.aborts_by_reason;
+    Printf.printf "throughput     : %.1f txn/s\n" r.Exper.Runner.throughput_tps;
+    Format.printf "update latency : %a@." Stats.Summary.pp r.Exper.Runner.latency_ms;
+    Format.printf "ro latency     : %a@." Stats.Summary.pp r.Exper.Runner.ro_latency_ms;
+    Printf.printf "datagrams      : %d   broadcasts: %d\n" r.Exper.Runner.datagrams
+      r.Exper.Runner.broadcasts;
+    if verbose then
+      List.iter
+        (fun (cat, count) -> Printf.printf "  %-10s %d\n" cat count)
+        r.Exper.Runner.per_category;
+    Printf.printf "deadlocks      : %d\n" r.Exper.Runner.deadlocks;
+    let ser = Exper.Runner.one_copy_serializable r in
+    let conv = Exper.Runner.converged r in
+    Printf.printf "1-copy serializable: %b\nreplicas converged : %b\n" ser conv;
+    if not (ser && conv) then exit 1
+
+let protocol =
+  Arg.(
+    value & pos 0 string "atomic"
+    & info [] ~docv:"PROTOCOL" ~doc:"baseline | reliable | causal | atomic")
+
+let n_sites =
+  Arg.(value & opt int 5 & info [ "sites"; "n" ] ~doc:"number of replica sites")
+
+let txns = Arg.(value & opt int 200 & info [ "txns" ] ~doc:"transactions per site")
+let mpl = Arg.(value & opt int 2 & info [ "mpl" ] ~doc:"clients per site")
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"simulation seed")
+
+let ro_fraction =
+  Arg.(value & opt float 0.2 & info [ "ro" ] ~doc:"read-only fraction")
+
+let theta = Arg.(value & opt float 0.0 & info [ "theta" ] ~doc:"zipf skew")
+let n_keys = Arg.(value & opt int 1000 & info [ "keys" ] ~doc:"database size")
+let reads = Arg.(value & opt int 3 & info [ "reads" ] ~doc:"reads per txn")
+let writes = Arg.(value & opt int 3 & info [ "writes" ] ~doc:"writes per txn")
+
+let ack_delay_ms =
+  Arg.(value & opt int 10 & info [ "ack-delay" ] ~doc:"causal idle-ack delay, ms")
+
+let no_ack =
+  Arg.(value & flag & info [ "no-ack" ] ~doc:"causal: pure implicit acks")
+
+let early =
+  Arg.(value & flag & info [ "early-abort" ] ~doc:"causal: early concurrent-write abort")
+
+let batch =
+  Arg.(value & flag & info [ "batch-writes" ] ~doc:"atomic: write set inside the commit request")
+
+let flood =
+  Arg.(value & flag & info [ "flood" ] ~doc:"gossip-relay reliable broadcast")
+
+let loss_rate =
+  Arg.(value & opt float 0.0 & info [ "loss" ] ~doc:"datagram loss probability (ARQ retransmits)")
+
+let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"per-category message counts")
+
+let run_term =
+  Term.(
+    const run_cmd $ protocol $ n_sites $ txns $ mpl $ seed $ ro_fraction
+    $ theta $ n_keys $ reads $ writes $ ack_delay_ms $ no_ack $ early $ batch
+    $ flood $ loss_rate $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* exper *)
+
+let experiments : (string * (quick:bool -> Stats.Table.t)) list =
+  [
+    ("E1", fun ~quick -> Exper.Experiments.e1_messages ~quick ());
+    ("E2", fun ~quick -> Exper.Experiments.e2_latency_sites ~quick ());
+    ("E3", fun ~quick -> Exper.Experiments.e3_implicit_ack ~quick ());
+    ("E4", fun ~quick -> Exper.Experiments.e4_aborts ~quick ());
+    ("E5", fun ~quick -> Exper.Experiments.e5_throughput ~quick ());
+    ("E6", fun ~quick -> Exper.Experiments.e6_deadlocks ~quick ());
+    ("E7", fun ~quick -> Exper.Experiments.e7_failover ~quick ());
+    ("E8", fun ~quick -> Exper.Experiments.e8_readonly ~quick ());
+    ("E9", fun ~quick -> Exper.Experiments.e9_primitives ~quick ());
+    ("E10", fun ~quick -> Exper.Experiments.e10_batched_writes ~quick ());
+    ("E11", fun ~quick -> Exper.Experiments.e11_flooding ~quick ());
+    ("E12", fun ~quick -> Exper.Experiments.e12_lossy_links ~quick ());
+  ]
+
+let exper_cmd which quick markdown =
+  let selected =
+    match which with
+    | [] -> experiments
+    | ids ->
+      List.filter_map
+        (fun id ->
+          let id = String.uppercase_ascii id in
+          match List.assoc_opt id experiments with
+          | Some fn -> Some (id, fn)
+          | None ->
+            Printf.eprintf "unknown experiment %s (E1..E12)\n" id;
+            exit 2)
+        ids
+  in
+  List.iter
+    (fun (_, fn) ->
+      let table = fn ~quick in
+      if markdown then print_string (Stats.Table.render_markdown table)
+      else Stats.Table.print table;
+      print_newline ())
+    selected
+
+let which =
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"E1..E12 (default: all)")
+
+let quick = Arg.(value & flag & info [ "quick" ] ~doc:"smaller workloads")
+
+let markdown =
+  Arg.(value & flag & info [ "markdown" ] ~doc:"emit GitHub-flavoured markdown tables")
+
+let exper_term = Term.(const exper_cmd $ which $ quick $ markdown)
+
+(* ------------------------------------------------------------------ *)
+(* list *)
+
+let list_cmd () =
+  print_endline "protocols  : baseline reliable causal atomic";
+  print_endline "experiments:";
+  List.iter (fun (id, _) -> Printf.printf "  %s\n" id) experiments
+
+(* ------------------------------------------------------------------ *)
+
+let cmd =
+  let doc =
+    "replicated-database simulation: broadcast-based replica control protocols"
+  in
+  Cmd.group
+    (Cmd.info "repdb_sim" ~doc)
+    ~default:run_term
+    [
+      Cmd.v (Cmd.info "run" ~doc:"run one protocol under one workload") run_term;
+      Cmd.v
+        (Cmd.info "exper" ~doc:"regenerate evaluation tables (see EXPERIMENTS.md)")
+        exper_term;
+      Cmd.v (Cmd.info "list" ~doc:"list protocols and experiments")
+        Term.(const list_cmd $ const ());
+    ]
+
+let () = exit (Cmd.eval cmd)

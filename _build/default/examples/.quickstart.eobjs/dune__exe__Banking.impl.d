@@ -1,0 +1,1 @@
+examples/banking.ml: Db Format List Net Repdb Sim Stdlib Verify

@@ -1,0 +1,1 @@
+examples/failover.ml: Db Format List Net Repdb Sim Verify

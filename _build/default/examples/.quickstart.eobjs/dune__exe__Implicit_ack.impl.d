@@ -1,0 +1,1 @@
+examples/implicit_ack.ml: Format List Printf Repdb Sim Verify

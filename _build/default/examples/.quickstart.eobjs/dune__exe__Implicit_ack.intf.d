@@ -1,0 +1,1 @@
+examples/implicit_ack.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Db Format List Repdb Sim Verify

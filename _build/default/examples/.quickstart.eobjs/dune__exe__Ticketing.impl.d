@@ -1,0 +1,1 @@
+examples/ticketing.ml: Array Db Format Repdb Sim Stdlib Verify

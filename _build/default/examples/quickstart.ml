@@ -1,0 +1,77 @@
+(* Quickstart: a replicated database on three sites using the atomic
+   broadcast protocol (the paper's section 5).
+
+   Run with: dune exec examples/quickstart.exe
+
+   The walk-through: create a simulation engine, instantiate a protocol,
+   submit transactions at different sites, run the clock, and inspect the
+   replicas. Everything is deterministic — rerun it and you will see the
+   same timestamps. *)
+
+module P = Repdb.Atomic_proto
+
+let () =
+  (* 1. A deterministic discrete-event engine. *)
+  let engine = Sim.Engine.create ~seed:2024 () in
+
+  (* 2. A shared history recorder: the verifier reads it afterwards. *)
+  let history = Verify.History.create () in
+
+  (* 3. Three fully-replicated sites over a simulated LAN. *)
+  let config = Repdb.Config.default ~n_sites:3 in
+  let db = P.create engine config ~history in
+
+  let report label outcome =
+    Format.printf "[%a] %-28s %a@." Sim.Time.pp (Sim.Engine.now engine) label
+      Verify.History.pp_outcome outcome
+  in
+
+  (* 4. Submit transactions. A spec is reads followed by writes; writes may
+     be computed from the values read. *)
+
+  (* a blind write at site 0: initialize two records *)
+  ignore
+    (P.submit db ~origin:0
+       (Repdb.Op.write_only [ (1, 100); (2, 250) ])
+       ~on_done:(report "initialize records 1 and 2"));
+
+  (* a read-modify-write at site 1, submitted once the first decides; it
+     moves 50 units from record 2 to record 1 *)
+  ignore
+    (Sim.Engine.schedule engine ~delay:(Sim.Time.of_ms 20) (fun () ->
+         ignore
+           (P.submit db ~origin:1
+              (Repdb.Op.computed ~reads:[ 1; 2 ] ~f:(fun values ->
+                   match values with
+                   | [ (1, a); (2, b) ] -> [ (1, a + 50); (2, b - 50) ]
+                   | _ -> assert false))
+              ~on_done:(report "transfer 50 from 2 to 1"))));
+
+  (* a read-only transaction at site 2: never blocks, never aborts, and
+     sends no messages — it reads a local snapshot *)
+  ignore
+    (Sim.Engine.schedule engine ~delay:(Sim.Time.of_ms 40) (fun () ->
+         ignore
+           (P.submit db ~origin:2
+              (Repdb.Op.read_only [ 1; 2 ])
+              ~on_done:(report "audit (read-only)"))));
+
+  (* 5. Run the simulation. *)
+  Sim.Engine.run_until engine (Sim.Time.of_sec 1.0);
+
+  (* 6. Inspect the replicas: all three hold the same state. *)
+  Format.printf "@.final replica states:@.";
+  List.iter
+    (fun site ->
+      let store = P.store db site in
+      Format.printf "  site %d: record1=%d record2=%d@." site
+        (Db.Version_store.read_latest store 1)
+        (Db.Version_store.read_latest store 2))
+    [ 0; 1; 2 ];
+
+  (* 7. And let the verifier certify the run. *)
+  Format.printf "@.one-copy serializable: %b@."
+    (Verify.Serialization.is_one_copy_serializable history);
+  Format.printf "replicas converged    : %b@."
+    (Verify.Convergence.converged
+       (List.map (fun s -> (s, P.store db s)) [ 0; 1; 2 ]))

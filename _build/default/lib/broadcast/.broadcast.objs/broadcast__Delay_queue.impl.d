@@ -1,0 +1,1 @@
+lib/broadcast/delay_queue.ml: Array Lclock List Net

@@ -1,0 +1,1 @@
+lib/broadcast/delay_queue.mli: Lclock Net

@@ -1,0 +1,1 @@
+lib/broadcast/endpoint.ml: Array Delay_queue Fifo_state Format Hashtbl Int Lclock List Msg_id Net Order_state Queue Sim Stdlib Sys View

@@ -1,0 +1,1 @@
+lib/broadcast/endpoint.mli: Lclock Msg_id Net Sim View

@@ -1,0 +1,1 @@
+lib/broadcast/fifo_state.ml: Hashtbl Int List Map Net

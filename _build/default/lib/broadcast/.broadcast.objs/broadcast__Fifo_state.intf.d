@@ -1,0 +1,1 @@
+lib/broadcast/fifo_state.mli: Net

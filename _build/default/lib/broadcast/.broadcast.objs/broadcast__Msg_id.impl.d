@@ -1,0 +1,1 @@
+lib/broadcast/msg_id.ml: Format Int Map Net Set

@@ -1,0 +1,1 @@
+lib/broadcast/msg_id.mli: Format Map Net Set

@@ -1,0 +1,1 @@
+lib/broadcast/order_state.ml: Int List Map Msg_id

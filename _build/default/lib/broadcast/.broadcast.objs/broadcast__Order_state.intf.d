@@ -1,0 +1,1 @@
+lib/broadcast/order_state.mli: Msg_id

@@ -1,0 +1,1 @@
+lib/broadcast/total_lamport.ml: Array Lclock List Net Sim

@@ -1,0 +1,1 @@
+lib/broadcast/total_lamport.mli: Net Sim

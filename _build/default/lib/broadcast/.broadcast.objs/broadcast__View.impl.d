@@ -1,0 +1,1 @@
+lib/broadcast/view.ml: Format List Net String

@@ -1,0 +1,1 @@
+lib/broadcast/view.mli: Format Net

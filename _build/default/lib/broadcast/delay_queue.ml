@@ -1,0 +1,90 @@
+module Vc = Lclock.Vector_clock
+
+type 'a release = { origin : Net.Site_id.t; vc : Vc.t; payload : 'a }
+
+type 'a t = {
+  delivered : int array;
+  mutable pending : 'a release list;  (* in arrival order *)
+}
+
+let create ~n =
+  if n <= 0 then invalid_arg "Delay_queue.create: n <= 0";
+  { delivered = Array.make n 0; pending = [] }
+
+let delivered_vc t = Vc.of_array t.delivered
+
+type 'a offer_result =
+  | Ready of 'a release list
+  | Buffered
+  | Duplicate
+
+let seq_of release = Vc.get release.vc release.origin
+
+let deliverable t release =
+  let v = Vc.to_array release.vc in
+  let ok = ref (v.(release.origin) = t.delivered.(release.origin) + 1) in
+  Array.iteri
+    (fun k vk ->
+      if k <> release.origin && vk > t.delivered.(k) then ok := false)
+    v;
+  !ok
+
+let mark_delivered t release =
+  t.delivered.(release.origin) <- t.delivered.(release.origin) + 1
+
+(* After a delivery, previously buffered messages may unblock; iterate to a
+   fixpoint, preserving arrival order among messages released in the same
+   sweep. *)
+let drain t =
+  let released = ref [] in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let still_pending =
+      List.filter
+        (fun r ->
+          if deliverable t r then begin
+            mark_delivered t r;
+            released := r :: !released;
+            progress := true;
+            false
+          end
+          else true)
+        t.pending
+    in
+    t.pending <- still_pending
+  done;
+  List.rev !released
+
+let offer t ~origin ~vc payload =
+  if Vc.size vc <> Array.length t.delivered then
+    invalid_arg "Delay_queue.offer: vector clock dimension mismatch";
+  let release = { origin; vc; payload } in
+  let seq = seq_of release in
+  if seq <= t.delivered.(origin) then Duplicate
+  else if
+    List.exists
+      (fun r -> Net.Site_id.equal r.origin origin && seq_of r = seq)
+      t.pending
+  then Duplicate
+  else if deliverable t release then begin
+    mark_delivered t release;
+    Ready (release :: drain t)
+  end
+  else begin
+    t.pending <- t.pending @ [ release ];
+    Buffered
+  end
+
+let fast_forward t ~origin ~count =
+  if count <= t.delivered.(origin) then []
+  else begin
+    t.delivered.(origin) <- count;
+    t.pending <-
+      List.filter
+        (fun r -> not (Net.Site_id.equal r.origin origin && seq_of r <= count))
+        t.pending;
+    drain t
+  end
+
+let pending_count t = List.length t.pending

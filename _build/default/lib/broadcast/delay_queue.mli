@@ -1,0 +1,39 @@
+(** Causal-order hold-back queue (Birman–Schiper–Stephenson).
+
+    One vector-clock space is shared by the causal and total classes: the
+    [origin] component of a message's stamp is its sequence number in that
+    space. A message is deliverable when it is the next one from its origin
+    and every other component of its stamp has already been delivered
+    locally. Pure bookkeeping, directly unit-testable. *)
+
+type 'a t
+
+val create : n:int -> 'a t
+(** [n] is the number of sites (vector-clock dimension). *)
+
+val delivered_vc : 'a t -> Lclock.Vector_clock.t
+(** The local delivered cut: component [i] counts messages from site [i]
+    delivered so far. *)
+
+type 'a release = {
+  origin : Net.Site_id.t;
+  vc : Lclock.Vector_clock.t;
+  payload : 'a;
+}
+
+type 'a offer_result =
+  | Ready of 'a release list
+      (** deliverable now, in causal order; includes any unblocked
+          previously-buffered messages *)
+  | Buffered
+  | Duplicate
+
+val offer :
+  'a t -> origin:Net.Site_id.t -> vc:Lclock.Vector_clock.t -> 'a -> 'a offer_result
+
+val fast_forward : 'a t -> origin:Net.Site_id.t -> count:int -> 'a release list
+(** Jump the delivered count for [origin] to [count], discarding buffered
+    messages from [origin] now stale and releasing any messages the jump
+    unblocks. No-op if already at or past [count]. *)
+
+val pending_count : 'a t -> int

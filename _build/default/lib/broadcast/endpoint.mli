@@ -1,0 +1,124 @@
+(** Per-site broadcast endpoints: the group-communication layer.
+
+    A group of endpoints over one simulated {!Net.Network} provides the three
+    primitives the paper builds on, sharing a single causal context the way
+    ISIS shares it between CBCAST and ABCAST:
+
+    - {b Reliable} ([`Reliable]): all-or-nothing delivery, FIFO per origin
+      (the paper assumes FIFO links, so reliable broadcast inherits
+      per-sender ordering).
+    - {b Causal} ([`Causal]): delivery respects happened-before across all
+      causal- and total-class messages; each delivery exposes its vector
+      clock, which the causal replication protocol uses for implicit
+      acknowledgments and early conflict detection.
+    - {b Total} ([`Total]): a single total order, consistent with the causal
+      order, produced by a crash-tolerant fixed sequencer (the coordinator
+      of the current view). Order assignments survive sequencer failover by
+      an order-sync round among the surviving members.
+
+    Membership: heartbeat failure detection installs majority-quorum views;
+    a recovered site rejoins through a coordinator-driven freeze/flush/
+    snapshot protocol. During the join window, flushed messages may be
+    applied out of causal order at lagging members (standard view-synchrony
+    weakening); crash-free runs deliver in exact causal order. *)
+
+type cls = [ `Reliable | `Causal | `Total ]
+
+type 'a delivery = {
+  id : Msg_id.t;
+  vc : Lclock.Vector_clock.t option;  (** [Some] for causal/total messages *)
+  global_seq : int option;  (** [Some] for total-class messages *)
+  payload : 'a;
+}
+
+type stamp = {
+  msg_id : Msg_id.t;
+  msg_vc : Lclock.Vector_clock.t option;
+      (** the message's causal stamp; [None] for the reliable class *)
+}
+
+type 'a group
+type 'a t
+
+(** {2 Group construction} *)
+
+val create_group :
+  Sim.Engine.t ->
+  n:int ->
+  latency:Net.Latency.t ->
+  ?classify:('a -> string) ->
+  ?hb_interval:Sim.Time.t ->
+  ?suspect_after:Sim.Time.t ->
+  ?flood:bool ->
+  ?loss:Net.Network.loss ->
+  unit ->
+  'a group
+(** [classify] labels application payloads for message accounting.
+    [hb_interval] (default 50ms) is the heartbeat period; [suspect_after]
+    (default 200ms) the failure-detection timeout. [flood] (default false)
+    makes receivers relay first-seen application messages, modelling
+    gossip-style reliable broadcast; the simulator's physical broadcast is
+    atomic at send time, so flooding is about cost modelling, not
+    correctness. *)
+
+val endpoints : 'a group -> 'a t array
+val stats : 'a group -> Net.Net_stats.t
+val engine : 'a group -> Sim.Engine.t
+val n_sites : 'a group -> int
+
+val crash : 'a group -> Net.Site_id.t -> unit
+(** Crash a site: its endpoint stops processing and the network drops its
+    traffic. Other sites detect the failure by heartbeat timeout. *)
+
+val recover : 'a group -> Net.Site_id.t -> unit
+(** Restart a crashed site. The endpoint discards volatile state and runs
+    the join protocol; its replication layer is re-initialized from the
+    snapshot installed by {!set_snapshot_hooks}. *)
+
+val partition : 'a group -> Net.Site_id.t list -> unit
+(** Cut the network between the given group and its complement. Each side
+    suspects the other; only a majority side stays primary. Messages lost
+    across the cut are {e not} replayed on heal — healing reconnects the
+    links, after which minority members should rejoin via {!recover}-style
+    state transfer (or the harness treats them as stale). *)
+
+val heal : 'a group -> unit
+
+(** {2 Per-endpoint API} *)
+
+val site : 'a t -> Net.Site_id.t
+
+val set_deliver : 'a t -> ('a delivery -> unit) -> unit
+(** Application delivery callback. Must be installed before traffic flows. *)
+
+val set_on_view : 'a t -> (View.t -> unit) -> unit
+(** Called after a new view is installed at this site. *)
+
+val set_snapshot_hooks :
+  'a t -> get:(unit -> 'a) -> install:('a -> unit) -> unit
+(** [get] captures the application state for a join snapshot (called at the
+    coordinator); [install] replaces the application state at a joining
+    site. Required if {!recover} is used. *)
+
+val broadcast : 'a t -> cls -> 'a -> stamp
+(** Broadcast a payload with the given ordering class. Returns the stamp of
+    the outgoing message — the causal replication protocol needs the stamp
+    of its own commit requests to recognize implicit acknowledgments.
+    Raises [Invalid_argument] if this site is crashed or not yet
+    initialized after a recovery. *)
+
+val view : 'a t -> View.t
+val is_primary : 'a t -> bool
+val is_up : 'a t -> bool
+
+val is_ready : 'a t -> bool
+(** Up {e and} past any pending join — the state in which {!broadcast} is
+    legal. A recovered site is up but not ready until its join commit
+    arrives. *)
+
+val delivered_vc : 'a t -> Lclock.Vector_clock.t
+(** This site's delivered causal cut. *)
+
+val pending_causal : 'a t -> int
+(** Buffered (not yet deliverable) causal/total messages — exposed for
+    tests and liveness assertions. *)

@@ -1,0 +1,60 @@
+module Int_map = Map.Make (Int)
+
+type 'a origin_state = { mutable next : int; mutable buffered : 'a Int_map.t }
+
+type 'a t = (Net.Site_id.t, 'a origin_state) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let state t origin =
+  match Hashtbl.find_opt t origin with
+  | Some s -> s
+  | None ->
+    let s = { next = 0; buffered = Int_map.empty } in
+    Hashtbl.add t origin s;
+    s
+
+let expected t ~origin = (state t origin).next
+
+type 'a offer_result =
+  | Ready of (int * 'a) list
+  | Buffered
+  | Duplicate
+
+(* Release the contiguous run starting at [s.next] from the buffer. *)
+let drain s =
+  let rec loop acc =
+    match Int_map.find_opt s.next s.buffered with
+    | Some msg ->
+      s.buffered <- Int_map.remove s.next s.buffered;
+      let released = (s.next, msg) in
+      s.next <- s.next + 1;
+      loop (released :: acc)
+    | None -> List.rev acc
+  in
+  loop []
+
+let offer t ~origin ~seq msg =
+  let s = state t origin in
+  if seq < s.next then Duplicate
+  else if seq = s.next then begin
+    s.next <- s.next + 1;
+    Ready ((seq, msg) :: drain s)
+  end
+  else if Int_map.mem seq s.buffered then Duplicate
+  else begin
+    s.buffered <- Int_map.add seq msg s.buffered;
+    Buffered
+  end
+
+let fast_forward t ~origin ~next_seq =
+  let s = state t origin in
+  if next_seq <= s.next then []
+  else begin
+    s.next <- next_seq;
+    s.buffered <- Int_map.filter (fun seq _ -> seq >= next_seq) s.buffered;
+    drain s
+  end
+
+let pending_count t =
+  Hashtbl.fold (fun _ s acc -> acc + Int_map.cardinal s.buffered) t 0

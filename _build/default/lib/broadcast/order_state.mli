@@ -1,0 +1,51 @@
+(** Total-order bookkeeping for the sequencer-based atomic class.
+
+    A [Total]-class message is delivered to the application when three
+    conditions hold: it has passed the causal hold-back queue ("arrived"),
+    its global sequence number is known (from a sequencer [Order]), and all
+    smaller global sequence numbers have been delivered. This module tracks
+    that state for one site; it is pure bookkeeping, unit-testable without a
+    network. First assignment wins on conflicting orders (conflicts can only
+    arise transiently across sequencer failovers; the order-sync protocol in
+    {!Endpoint} makes the survivors agree). *)
+
+type 'a t
+
+type 'a ready = { global_seq : int; id : Msg_id.t; payload : 'a }
+
+val create : unit -> 'a t
+
+val note_arrival : 'a t -> Msg_id.t -> 'a -> 'a ready list
+(** The message has passed causal delivery; returns messages now deliverable
+    in global order (possibly several, possibly none). *)
+
+val note_order : 'a t -> Msg_id.t -> global_seq:int -> 'a ready list
+(** Record a sequencer assignment. Duplicate or conflicting assignments are
+    ignored (first one wins). *)
+
+val adopt : 'a t -> (Msg_id.t * int) list -> 'a ready list
+(** Merge a batch of assignments (order-sync after a failover). *)
+
+val next_deliver : 'a t -> int
+(** Next global sequence number this site will deliver (0 initially). *)
+
+val known_assignments : 'a t -> (Msg_id.t * int) list
+(** Every assignment this site knows, including delivered ones it remembers;
+    used to answer order-sync queries. *)
+
+val max_assigned : 'a t -> int
+(** Highest global seq this site has seen assigned; -1 if none. *)
+
+val assignment_of : 'a t -> Msg_id.t -> int option
+
+val unordered_arrivals : 'a t -> Msg_id.t list
+(** Arrived messages with no known assignment — a newly elected sequencer
+    assigns these after syncing. In arrival order. *)
+
+val fast_forward : 'a t -> next_deliver:int -> unit
+(** Skip delivery position forward (a joining site starts from its snapshot
+    position). Arrivals and assignments below the new position are
+    discarded. No-op if already at or past it. *)
+
+val pending_count : 'a t -> int
+(** Arrived-but-undelivered messages. *)

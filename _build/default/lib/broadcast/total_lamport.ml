@@ -1,0 +1,134 @@
+module Stamp = Lclock.Lamport_clock.Stamp
+
+type msg_id = { mi_origin : Net.Site_id.t; mi_seq : int }
+
+let msg_id_equal a b = a.mi_origin = b.mi_origin && a.mi_seq = b.mi_seq
+
+type 'a wire =
+  | Data of { id : msg_id; payload : 'a }
+  | Propose of { id : msg_id; stamp : Stamp.t }
+  | Final of { id : msg_id; stamp : Stamp.t }
+
+let classify = function
+  | Data _ -> "data"
+  | Propose _ -> "propose"
+  | Final _ -> "final"
+
+type 'a entry = {
+  e_id : msg_id;
+  e_payload : 'a;
+  mutable e_stamp : Stamp.t;
+  mutable e_final : bool;
+}
+
+type 'a pending_send = {
+  ps_id : msg_id;
+  mutable ps_proposals : Stamp.t list;  (* one per site *)
+}
+
+type 'a t = {
+  group : 'a group;
+  me : Net.Site_id.t;
+  clock : Lclock.Lamport_clock.t;
+  mutable pool : 'a entry list;  (* undelivered messages *)
+  mutable sends : 'a pending_send list;  (* awaiting proposals *)
+  mutable next_seq : int;  (* per-origin data sequence *)
+  mutable delivered : int;  (* global delivery counter *)
+  mutable deliver_cb : (origin:Net.Site_id.t -> global_seq:int -> 'a -> unit) option;
+}
+
+and 'a group = {
+  g_engine : Sim.Engine.t;
+  g_net : 'a wire Net.Network.t;
+  g_n : int;
+  mutable g_eps : 'a t array;
+}
+
+let endpoints group = group.g_eps
+let stats group = Net.Network.stats group.g_net
+let site t = t.me
+let set_deliver t cb = t.deliver_cb <- Some cb
+
+(* Deliver every final entry whose stamp is minimal in the whole pool: a
+   tentative entry can only get a final stamp >= its proposal, so anything
+   smaller than every pool member is safe. *)
+let rec drain t =
+  let minimal entry =
+    List.for_all
+      (fun other ->
+        msg_id_equal other.e_id entry.e_id
+        || Stamp.compare entry.e_stamp other.e_stamp < 0)
+      t.pool
+  in
+  match List.find_opt (fun e -> e.e_final && minimal e) t.pool with
+  | Some entry ->
+    t.pool <-
+      List.filter (fun e -> not (msg_id_equal e.e_id entry.e_id)) t.pool;
+    let seq = t.delivered in
+    t.delivered <- t.delivered + 1;
+    (match t.deliver_cb with
+    | Some cb -> cb ~origin:entry.e_id.mi_origin ~global_seq:seq entry.e_payload
+    | None -> ());
+    drain t
+  | None -> ()
+
+let handle t ~src wire =
+  match wire with
+  | Data { id; payload } ->
+    let proposal =
+      { Stamp.clock = Lclock.Lamport_clock.tick t.clock; site = t.me }
+    in
+    t.pool <- { e_id = id; e_payload = payload; e_stamp = proposal; e_final = false } :: t.pool;
+    Net.Network.send t.group.g_net ~src:t.me ~dst:src (Propose { id; stamp = proposal })
+  | Propose { id; stamp } -> begin
+    ignore (Lclock.Lamport_clock.observe t.clock stamp.Stamp.clock);
+    match List.find_opt (fun ps -> msg_id_equal ps.ps_id id) t.sends with
+    | None -> ()
+    | Some ps ->
+      ps.ps_proposals <- stamp :: ps.ps_proposals;
+      if List.length ps.ps_proposals = t.group.g_n then begin
+        let final =
+          List.fold_left
+            (fun acc s -> if Stamp.compare s acc > 0 then s else acc)
+            (List.hd ps.ps_proposals) (List.tl ps.ps_proposals)
+        in
+        t.sends <- List.filter (fun s -> not (msg_id_equal s.ps_id id)) t.sends;
+        Net.Network.send_all t.group.g_net ~src:t.me (Final { id; stamp = final })
+      end
+  end
+  | Final { id; stamp } -> begin
+    ignore (Lclock.Lamport_clock.observe t.clock stamp.Stamp.clock);
+    match List.find_opt (fun e -> msg_id_equal e.e_id id) t.pool with
+    | None -> ()
+    | Some entry ->
+      entry.e_stamp <- stamp;
+      entry.e_final <- true;
+      drain t
+  end
+
+let broadcast t payload =
+  let id = { mi_origin = t.me; mi_seq = t.next_seq } in
+  t.next_seq <- t.next_seq + 1;
+  t.sends <- { ps_id = id; ps_proposals = [] } :: t.sends;
+  Net.Network.send_all t.group.g_net ~src:t.me (Data { id; payload })
+
+let create_group engine ~n ~latency () =
+  let net = Net.Network.create engine ~n ~latency ~classify () in
+  let group = { g_engine = engine; g_net = net; g_n = n; g_eps = [||] } in
+  let make me =
+    {
+      group;
+      me;
+      clock = Lclock.Lamport_clock.create ();
+      pool = [];
+      sends = [];
+      next_seq = 0;
+      delivered = 0;
+      deliver_cb = None;
+    }
+  in
+  group.g_eps <- Array.init n make;
+  Array.iter
+    (fun t -> Net.Network.set_handler net t.me (fun ~src wire -> handle t ~src wire))
+    group.g_eps;
+  group

@@ -1,0 +1,32 @@
+(** Distributed (ISIS-ABCAST-style) atomic broadcast.
+
+    The alternative to the fixed sequencer of {!Endpoint}: the sender
+    broadcasts its message, every receiver answers with a proposed Lamport
+    timestamp, the sender picks the maximum and broadcasts it as the final
+    timestamp, and everyone delivers in final-timestamp order (holding a
+    message back while any undecided message might still receive a smaller
+    final stamp).
+
+    Three message steps and [n+1] extra datagrams per broadcast versus the
+    sequencer's one ordering datagram — exactly the cost difference the
+    paper alludes to when it calls atomic broadcast "expensive and complex";
+    experiment E9 measures both. Crash handling is out of scope for this
+    variant (it exists for cost comparison); use {!Endpoint} for the
+    fault-tolerant stack. *)
+
+type 'a group
+type 'a t
+
+val create_group :
+  Sim.Engine.t -> n:int -> latency:Net.Latency.t -> unit -> 'a group
+
+val endpoints : 'a group -> 'a t array
+val stats : 'a group -> Net.Net_stats.t
+
+val site : 'a t -> Net.Site_id.t
+
+val set_deliver : 'a t -> (origin:Net.Site_id.t -> global_seq:int -> 'a -> unit) -> unit
+(** [global_seq] is the position in the agreed total order (contiguous from
+    0 at every site). *)
+
+val broadcast : 'a t -> 'a -> unit

@@ -1,0 +1,1 @@
+lib/clock/lamport_clock.ml: Format Int Stdlib

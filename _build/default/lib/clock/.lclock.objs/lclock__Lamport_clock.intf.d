@@ -1,0 +1,1 @@
+lib/clock/lamport_clock.mli: Format

@@ -1,0 +1,1 @@
+lib/clock/vector_clock.ml: Array Format Stdlib String

@@ -1,0 +1,1 @@
+lib/clock/vector_clock.mli: Format

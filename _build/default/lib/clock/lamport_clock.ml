@@ -1,0 +1,26 @@
+type t = { mutable value : int }
+
+let create () = { value = 0 }
+
+let now t = t.value
+
+let tick t =
+  t.value <- t.value + 1;
+  t.value
+
+let observe t received =
+  t.value <- Stdlib.max t.value received + 1;
+  t.value
+
+module Stamp = struct
+  type t = { clock : int; site : int }
+
+  let compare a b =
+    match Int.compare a.clock b.clock with
+    | 0 -> Int.compare a.site b.site
+    | c -> c
+
+  let equal a b = compare a b = 0
+
+  let pp ppf t = Format.fprintf ppf "%d.%d" t.clock t.site
+end

@@ -1,0 +1,27 @@
+(** Lamport scalar clocks.
+
+    Used by the distributed (ISIS-style) atomic broadcast variant, where
+    total order is derived from [(timestamp, site)] pairs. *)
+
+type t
+(** Mutable per-process clock. *)
+
+val create : unit -> t
+
+val now : t -> int
+(** Current value without advancing. *)
+
+val tick : t -> int
+(** Advance for a local/send event; returns the new value. *)
+
+val observe : t -> int -> int
+(** Merge a received timestamp and tick; returns the new value. *)
+
+(** Totally ordered timestamps: ties on the scalar broken by site id. *)
+module Stamp : sig
+  type t = { clock : int; site : int }
+
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,53 @@
+type t = int array
+
+type order = Equal | Before | After | Concurrent
+
+let create ~n =
+  if n <= 0 then invalid_arg "Vector_clock.create: n <= 0";
+  Array.make n 0
+
+let of_array a =
+  Array.iter (fun v -> if v < 0 then invalid_arg "Vector_clock.of_array: negative") a;
+  Array.copy a
+
+let to_array = Array.copy
+let size = Array.length
+let get t i = t.(i)
+let copy = Array.copy
+
+let check_sizes a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vector_clock: size mismatch"
+
+let tick t ~me =
+  let t' = Array.copy t in
+  t'.(me) <- t'.(me) + 1;
+  t'
+
+let merge a b =
+  check_sizes a b;
+  Array.init (Array.length a) (fun i -> Stdlib.max a.(i) b.(i))
+
+let leq a b =
+  check_sizes a b;
+  let rec loop i = i >= Array.length a || (a.(i) <= b.(i) && loop (i + 1)) in
+  loop 0
+
+let equal a b =
+  check_sizes a b;
+  a = b
+
+let compare_causal a b =
+  let le = leq a b and ge = leq b a in
+  match le, ge with
+  | true, true -> Equal
+  | true, false -> Before
+  | false, true -> After
+  | false, false -> Concurrent
+
+let strictly_before a b = compare_causal a b = Before
+let concurrent a b = compare_causal a b = Concurrent
+
+let pp ppf t =
+  Format.fprintf ppf "<%s>"
+    (String.concat "," (Array.to_list (Array.map string_of_int t)))

@@ -1,0 +1,51 @@
+(** Vector clocks over a fixed set of [n] processes (0 .. n-1).
+
+    The broadcast layer stamps every message with the sender's vector clock;
+    comparing stamps answers "did this message causally precede that one?",
+    which the causal-broadcast delay queue and the replicated-database
+    protocols (early conflict detection, implicit acknowledgments) both rely
+    on. *)
+
+type t
+
+type order =
+  | Equal
+  | Before      (** strictly happens-before *)
+  | After       (** strictly happens-after *)
+  | Concurrent
+
+val create : n:int -> t
+(** All components zero. *)
+
+val of_array : int array -> t
+(** Copies the array. Raises [Invalid_argument] on negative components. *)
+
+val to_array : t -> int array
+(** A fresh copy. *)
+
+val size : t -> int
+
+val get : t -> int -> int
+
+val copy : t -> t
+
+val tick : t -> me:int -> t
+(** Increment [me]'s component (a local or send event). Pure: returns a new
+    clock. *)
+
+val merge : t -> t -> t
+(** Component-wise maximum (a receive event, before ticking). *)
+
+val compare_causal : t -> t -> order
+
+val leq : t -> t -> bool
+(** [leq a b] iff every component of [a] is [<=] the matching one of [b];
+    i.e. [a] happened-before-or-equals [b]. *)
+
+val strictly_before : t -> t -> bool
+val concurrent : t -> t -> bool
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** E.g. ["<1,0,3>"]. *)

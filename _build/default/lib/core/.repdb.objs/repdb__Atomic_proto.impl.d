@@ -1,0 +1,1 @@
+lib/core/atomic_proto.ml: Array Broadcast Config Db Hashtbl List Net Op Protocol_intf Sim Site_core State_transfer Verify

@@ -1,0 +1,1 @@
+lib/core/atomic_proto.mli: Protocol_intf

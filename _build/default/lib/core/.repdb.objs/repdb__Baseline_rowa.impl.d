@@ -1,0 +1,1 @@
+lib/core/baseline_rowa.ml: Array Config Db List Net Op Protocol_intf Sim Site_core Verify

@@ -1,0 +1,1 @@
+lib/core/baseline_rowa.mli: Protocol_intf

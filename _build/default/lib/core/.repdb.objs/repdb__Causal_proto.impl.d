@@ -1,0 +1,1 @@
+lib/core/causal_proto.ml: Array Broadcast Config Db Format Hashtbl Lclock List Net Op Option Printf Protocol_intf Sim Site_core State_transfer String Sys Verify

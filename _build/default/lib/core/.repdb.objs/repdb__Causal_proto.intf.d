@@ -1,0 +1,1 @@
+lib/core/causal_proto.mli: Net Protocol_intf

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Atomic_proto Baseline_rowa Causal_proto Protocol_intf Reliable_proto String

@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Protocol_intf

@@ -1,0 +1,1 @@
+lib/core/protocol_intf.ml: Config Db Net Op Sim Verify

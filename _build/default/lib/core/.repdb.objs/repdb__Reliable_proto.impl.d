@@ -1,0 +1,1 @@
+lib/core/reliable_proto.ml: Array Broadcast Config Db Format List Net Op Protocol_intf Sim Site_core State_transfer String Sys Verify

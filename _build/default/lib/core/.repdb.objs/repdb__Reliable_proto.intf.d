@@ -1,0 +1,1 @@
+lib/core/reliable_proto.mli: Net Protocol_intf

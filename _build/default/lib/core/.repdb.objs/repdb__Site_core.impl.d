@@ -1,0 +1,1 @@
+lib/core/site_core.ml: Db Hashtbl List Net Op Verify

@@ -1,0 +1,1 @@
+lib/core/site_core.mli: Db Net Op Sim Verify

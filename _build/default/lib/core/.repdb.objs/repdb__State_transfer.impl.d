@@ -1,0 +1,1 @@
+lib/core/state_transfer.ml: Db List Op Site_core Verify

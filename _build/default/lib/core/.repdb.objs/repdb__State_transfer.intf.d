@@ -1,0 +1,1 @@
+lib/core/state_transfer.mli: Db Op Site_core

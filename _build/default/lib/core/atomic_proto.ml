@@ -1,0 +1,257 @@
+module Txn_id = Db.Txn_id
+module Site_id = Net.Site_id
+module History = Verify.History
+module Endpoint = Broadcast.Endpoint
+
+type outcome = Protocol_intf.outcome
+
+let name = "atomic"
+
+type active_export = {
+  ax_txn : Txn_id.t;
+  ax_writes : (Op.key * Op.value) list;
+}
+
+type payload =
+  | Write of { txn : Txn_id.t; key : Op.key; value : Op.value }
+  | Commit_req of {
+      txn : Txn_id.t;
+      read_versions : (Op.key * int) list;
+      batched_writes : (Op.key * Op.value) list option;
+          (* [Some _] under the batched-writes ablation: the write set
+             rides in the commit request instead of streaming ahead *)
+    }
+  | Snapshot of { xfer : State_transfer.t; active : active_export list }
+
+let classify = function
+  | Write _ -> "write"
+  | Commit_req _ -> "commitreq"
+  | Snapshot _ -> "snapshot"
+
+type origin_rec = { o_on_done : outcome -> unit }
+
+type site_state = {
+  core : Site_core.t;  (* lock manager unused: certification, not locking *)
+  ep : payload Endpoint.t;
+  buffers : (Op.key * Op.value) list ref Txn_id.Tbl.t;  (* reversed arrival *)
+  orig : origin_rec Txn_id.Tbl.t;
+  mutable next_local : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  config : Config.t;
+  history : History.t;
+  group : payload Endpoint.group;
+  sites : site_state array;
+}
+
+let net_stats t = Endpoint.stats t.group
+let store t s = Site_core.store t.sites.(s).core
+let log t s = Site_core.log t.sites.(s).core
+
+let deadlocks _ = 0
+let supports_failures = true
+let crash t s = Endpoint.crash t.group s
+let recover t s = Endpoint.recover t.group s
+let partition t sites = Endpoint.partition t.group sites
+let heal t = Endpoint.heal t.group
+
+let buffer_write st ~txn key value =
+  match Txn_id.Tbl.find_opt st.buffers txn with
+  | Some l -> l := (key, value) :: !l
+  | None -> Txn_id.Tbl.add st.buffers txn (ref [ (key, value) ])
+
+let buffered_writes st ~txn =
+  match Txn_id.Tbl.find_opt st.buffers txn with
+  | None -> []
+  | Some l ->
+    let newest = Hashtbl.create 8 in
+    List.iter
+      (fun (k, v) -> if not (Hashtbl.mem newest k) then Hashtbl.add newest k v)
+      !l;
+    List.rev !l
+    |> List.filter_map (fun (k, _) ->
+           match Hashtbl.find_opt newest k with
+           | Some v ->
+             Hashtbl.remove newest k;
+             Some (k, v)
+           | None -> None)
+
+let finish_at_origin t st txn outcome =
+  match Txn_id.Tbl.find_opt st.orig txn with
+  | Some o ->
+    Txn_id.Tbl.remove st.orig txn;
+    History.record_outcome t.history txn outcome;
+    o.o_on_done outcome
+  | None -> ()
+
+(* The deterministic commit test, identical at every site because write
+   sets are applied in the shared total order: a transaction passes iff
+   nothing it read has been overwritten since. *)
+let certify store read_versions =
+  List.for_all
+    (fun (key, version) -> Db.Version_store.version_of store key <= version)
+    read_versions
+
+let handle_commit_req t st ~txn ~read_versions ~batched_writes =
+  let site = Site_core.site st.core in
+  let store = Site_core.store st.core in
+  if certify store read_versions then begin
+    let writes =
+      match batched_writes with
+      | Some writes -> writes
+      | None -> buffered_writes st ~txn
+    in
+    let index = Db.Version_store.apply store ~writer:txn writes in
+    Db.Redo_log.append (Site_core.log st.core) ~txn ~writes ~index;
+    History.record_apply t.history ~site txn;
+    Txn_id.Tbl.remove st.buffers txn;
+    finish_at_origin t st txn History.Committed
+  end
+  else begin
+    Txn_id.Tbl.remove st.buffers txn;
+    finish_at_origin t st txn (History.Aborted History.Certification)
+  end
+
+let deliver t st (d : payload Endpoint.delivery) =
+  match d.Endpoint.payload with
+  | Write { txn; key; value } -> buffer_write st ~txn key value
+  | Commit_req { txn; read_versions; batched_writes } ->
+    handle_commit_req t st ~txn ~read_versions ~batched_writes
+  | Snapshot _ -> ()
+
+(* Transactions whose origin left the view before their commit request was
+   broadcast will never be decided; reclaim their buffers. Buffered writes
+   of transactions whose commit request is already sequenced are decided
+   normally by the surviving view. *)
+let on_view_change t st view =
+  ignore t;
+  let stale =
+    Txn_id.Tbl.fold
+      (fun txn _ acc ->
+        if Broadcast.View.mem view txn.Txn_id.origin then acc else txn :: acc)
+      st.buffers []
+  in
+  List.iter (Txn_id.Tbl.remove st.buffers) stale
+
+(* ---------------- state transfer ---------------- *)
+
+let export_snapshot st =
+  let active =
+    Txn_id.Tbl.fold
+      (fun txn _ acc ->
+        { ax_txn = txn; ax_writes = buffered_writes st ~txn } :: acc)
+      st.buffers []
+  in
+  Snapshot { xfer = State_transfer.export st.core; active }
+
+let install_snapshot st = function
+  | Snapshot { xfer; active } ->
+    Txn_id.Tbl.reset st.buffers;
+    Txn_id.Tbl.reset st.orig;
+    State_transfer.import st.core xfer;
+    List.iter
+      (fun ax ->
+        List.iter (fun (k, v) -> buffer_write st ~txn:ax.ax_txn k v) ax.ax_writes)
+      active
+  | Write _ | Commit_req _ -> invalid_arg "Atomic_proto: bad snapshot payload"
+
+(* ---------------- construction and submission ---------------- *)
+
+let create engine config ~history =
+  let group =
+    Endpoint.create_group engine ~n:config.Config.n_sites
+      ~latency:config.Config.latency ~classify
+      ~hb_interval:config.Config.hb_interval
+      ~suspect_after:config.Config.suspect_after ~flood:config.Config.flood
+      ?loss:config.Config.loss ()
+  in
+  let make_site site =
+    {
+      core =
+        Site_core.create engine ~site ~policy:Db.Lock_manager.No_wait ~history;
+      ep = (Endpoint.endpoints group).(site);
+      buffers = Txn_id.Tbl.create 64;
+      orig = Txn_id.Tbl.create 64;
+      next_local = 0;
+    }
+  in
+  let t =
+    {
+      engine;
+      config;
+      history;
+      group;
+      sites = Array.init config.Config.n_sites make_site;
+    }
+  in
+  Array.iter
+    (fun st ->
+      Endpoint.set_deliver st.ep (fun d -> deliver t st d);
+      Endpoint.set_on_view st.ep (fun view -> on_view_change t st view);
+      Endpoint.set_snapshot_hooks st.ep
+        ~get:(fun () -> export_snapshot st)
+        ~install:(fun payload -> install_snapshot st payload))
+    t.sites;
+  t
+
+let submit t ~origin spec ~on_done =
+  let st = t.sites.(origin) in
+  st.next_local <- st.next_local + 1;
+  let txn = Txn_id.make ~origin ~local:st.next_local in
+  History.begin_txn t.history txn ~origin;
+  if not (Endpoint.is_ready st.ep) then begin
+    (* The site is down or mid-join: reject rather than act on stale state. *)
+    History.record_outcome t.history txn (History.Aborted History.View_change);
+    on_done (History.Aborted History.View_change);
+    txn
+  end
+  else begin
+  Txn_id.Tbl.add st.orig txn { o_on_done = on_done };
+  let store = Site_core.store st.core in
+  if Op.is_read_only spec then begin
+    (* Snapshot reads at the current local commit index: consistent (a
+       prefix of the shared total order), non-blocking, never aborted. *)
+    let index = Db.Version_store.commit_index store in
+    List.iter
+      (fun key ->
+        let _value = Db.Version_store.read_at store ~index key in
+        History.record_read t.history txn key
+          ~from:(Db.Version_store.writer_at store ~index key))
+      spec.Op.reads;
+    History.record_writes t.history txn [];
+    finish_at_origin t st txn History.Committed
+  end
+  else begin
+    (* Optimistic read phase: current committed values, versions recorded
+       for certification. *)
+    let read_results =
+      List.map
+        (fun key ->
+          History.record_read t.history txn key
+            ~from:(Db.Version_store.writer_of store key);
+          (key, Db.Version_store.read_latest store key))
+        spec.Op.reads
+    in
+    let read_versions =
+      List.map (fun key -> (key, Db.Version_store.version_of store key)) spec.Op.reads
+    in
+    let writes = Op.write_set spec ~read_results in
+    History.record_writes t.history txn writes;
+    if t.config.Config.atomic_batch_writes then
+      ignore
+        (Endpoint.broadcast st.ep `Total
+           (Commit_req { txn; read_versions; batched_writes = Some writes }))
+    else begin
+      List.iter
+        (fun (key, value) ->
+          ignore (Endpoint.broadcast st.ep `Causal (Write { txn; key; value })))
+        writes;
+      ignore
+        (Endpoint.broadcast st.ep `Total
+           (Commit_req { txn; read_versions; batched_writes = None }))
+    end
+  end;
+    txn
+  end

@@ -1,0 +1,28 @@
+(** The atomic-broadcast protocol (paper, section 5).
+
+    "Completely eliminates the need for acknowledgements during transaction
+    commitment": write operations are disseminated by causal broadcast as
+    they are issued, while commit requests go through atomic broadcast —
+    both on one channel whose total order is consistent with its causal
+    order, the dual-primitive arrangement the paper points at ISIS for.
+    Because every site delivers commit requests in the same total order and
+    already holds the transaction's writes (causality), a deterministic
+    decision rule at the delivery point replaces the vote round outright.
+
+    The decision rule is certification: the commit request carries the
+    versions the transaction read at its origin; a site commits it iff none
+    of those versions has been overwritten by an earlier-ordered committed
+    transaction. Committed write sets are applied in total order, so every
+    replica's version counters agree and all sites decide identically with
+    {b zero acknowledgment messages}.
+
+    Reads take no locks: update transactions read current committed values
+    at their origin and stake their fate on certification; {b read-only
+    transactions read a snapshot} (the replica state at their start index)
+    and therefore never abort, never block, and never broadcast.
+
+    Failures: delivery of ordered commit requests continues in any majority
+    view (the sequencer fails over with an order-sync round in the broadcast
+    layer); no commit ever blocks on a crashed participant. *)
+
+include Protocol_intf.S

@@ -1,0 +1,26 @@
+type t = {
+  n_sites : int;
+  latency : Net.Latency.t;
+  hb_interval : Sim.Time.t;
+  suspect_after : Sim.Time.t;
+  ack_delay : Sim.Time.t option;
+  early_ww_abort : bool;
+  deadlock_check_period : Sim.Time.t;
+  flood : bool;
+  atomic_batch_writes : bool;
+  loss : Net.Network.loss option;
+}
+
+let default ~n_sites =
+  {
+    n_sites;
+    latency = Net.Latency.lan;
+    hb_interval = Sim.Time.of_ms 50;
+    suspect_after = Sim.Time.of_ms 200;
+    ack_delay = Some (Sim.Time.of_ms 10);
+    early_ww_abort = false;
+    deadlock_check_period = Sim.Time.of_ms 100;
+    flood = false;
+    atomic_batch_writes = false;
+    loss = None;
+  }

@@ -1,0 +1,32 @@
+(** Run configuration shared by all replication protocols. *)
+
+type t = {
+  n_sites : int;
+  latency : Net.Latency.t;
+  hb_interval : Sim.Time.t;  (** heartbeat period of the membership layer *)
+  suspect_after : Sim.Time.t;  (** failure-detection timeout *)
+  ack_delay : Sim.Time.t option;
+      (** causal protocol: send an explicit acknowledgment if idle this long
+          after delivering a commit request; [None] = rely purely on
+          implicit acknowledgments (the paper's base protocol — commit then
+          waits for unrelated traffic) *)
+  early_ww_abort : bool;
+      (** causal protocol: on detecting two {e concurrent} conflicting
+          writes, abort both transactions immediately (the paper's early
+          conflict detection) instead of only the later-delivered one *)
+  deadlock_check_period : Sim.Time.t;
+      (** baseline: period of the global waits-for-graph detector *)
+  flood : bool;  (** gossip relay in the broadcast layer (cost modelling) *)
+  atomic_batch_writes : bool;
+      (** atomic protocol ablation: defer the write set into the commit
+          request (one atomic message per transaction, the style of the
+          companion work [AAES97]) instead of streaming each write as its
+          own causal broadcast (this paper's section 5) *)
+  loss : Net.Network.loss option;
+      (** link-level datagram loss with ARQ retransmission; [None] = clean
+          links (the default; experiment E12 sweeps this) *)
+}
+
+val default : n_sites:int -> t
+(** 1998-LAN flavour: {!Net.Latency.lan}, 50ms heartbeats, 200ms suspicion,
+    10ms idle-ack, early abort off, 100ms deadlock checks, no flooding. *)

@@ -1,0 +1,31 @@
+type key = int
+type value = int
+
+type write_spec =
+  | No_writes
+  | Static of (key * value) list
+  | Computed of ((key * value) list -> (key * value) list)
+
+type spec = { reads : key list; writes : write_spec }
+
+let read_only reads = { reads; writes = No_writes }
+let write_only writes = { reads = []; writes = Static writes }
+let read_write ~reads ~writes = { reads; writes = Static writes }
+let computed ~reads ~f = { reads; writes = Computed f }
+
+let is_read_only spec =
+  match spec.writes with No_writes -> true | Static _ | Computed _ -> false
+
+let dedup_last_wins writes =
+  let rec keep_last = function
+    | [] -> []
+    | (k, v) :: rest ->
+      if List.mem_assoc k rest then keep_last rest else (k, v) :: keep_last rest
+  in
+  keep_last writes
+
+let write_set spec ~read_results =
+  match spec.writes with
+  | No_writes -> []
+  | Static writes -> dedup_last_wins writes
+  | Computed f -> dedup_last_wins (f read_results)

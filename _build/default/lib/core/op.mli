@@ -1,0 +1,35 @@
+(** Transaction specifications.
+
+    The paper's model: "a transaction performs all its read operations
+    before initiating any write operations". A spec names the keys to read
+    and how the write set follows from the values read. The write set may be
+    static (independent of the reads — "blind" writes) or computed from
+    them, which is what realistic transactions (transfers, reservations)
+    need. *)
+
+type key = int
+type value = int
+
+type write_spec =
+  | No_writes  (** a read-only transaction *)
+  | Static of (key * value) list
+  | Computed of ((key * value) list -> (key * value) list)
+      (** receives the read results, in read order *)
+
+type spec = { reads : key list; writes : write_spec }
+
+val read_only : key list -> spec
+
+val write_only : (key * value) list -> spec
+(** Blind writes, no reads. *)
+
+val read_write : reads:key list -> writes:(key * value) list -> spec
+
+val computed : reads:key list -> f:((key * value) list -> (key * value) list) -> spec
+
+val is_read_only : spec -> bool
+
+val write_set : spec -> read_results:(key * value) list -> (key * value) list
+(** Resolve the write set. Duplicate keys are reduced to the last
+    occurrence (a transaction writes each item once, with its final
+    value). *)

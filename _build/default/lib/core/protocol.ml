@@ -1,0 +1,24 @@
+type id = Baseline | Reliable | Causal | Atomic
+
+let all = [ Baseline; Reliable; Causal; Atomic ]
+let broadcast_based = [ Reliable; Causal; Atomic ]
+
+let name = function
+  | Baseline -> "baseline"
+  | Reliable -> "reliable"
+  | Causal -> "causal"
+  | Atomic -> "atomic"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "baseline" -> Some Baseline
+  | "reliable" -> Some Reliable
+  | "causal" -> Some Causal
+  | "atomic" -> Some Atomic
+  | _ -> None
+
+let get : id -> (module Protocol_intf.S) = function
+  | Baseline -> (module Baseline_rowa)
+  | Reliable -> (module Reliable_proto)
+  | Causal -> (module Causal_proto)
+  | Atomic -> (module Atomic_proto)

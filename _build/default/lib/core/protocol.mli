@@ -1,0 +1,16 @@
+(** Registry of the implemented replica-control protocols. *)
+
+type id = Baseline | Reliable | Causal | Atomic
+
+val all : id list
+(** In presentation order: baseline first, then by primitive strength. *)
+
+val broadcast_based : id list
+(** The paper's three protocols (everything but the baseline). *)
+
+val name : id -> string
+
+val of_name : string -> id option
+(** Case-insensitive lookup by {!name}. *)
+
+val get : id -> (module Protocol_intf.S)

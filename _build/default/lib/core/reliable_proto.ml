@@ -1,0 +1,379 @@
+module Txn_id = Db.Txn_id
+module Site_id = Net.Site_id
+module History = Verify.History
+module Endpoint = Broadcast.Endpoint
+
+type outcome = Protocol_intf.outcome
+
+let name = "reliable"
+
+type active_export = {
+  ax_txn : Txn_id.t;
+  ax_origin : Site_id.t;
+  ax_writes : (Op.key * Op.value) list;
+  ax_refused : bool;
+  ax_cr_seen : bool;
+  ax_participants : Site_id.t list;
+  ax_votes_yes : Site_id.t list;
+  ax_votes_no : Site_id.t list;
+}
+
+type payload =
+  | Write of { txn : Txn_id.t; key : Op.key; value : Op.value }
+  | Commit_req of { txn : Txn_id.t; participants : Site_id.t list }
+      (** the origin's view members when it requested commitment; votes are
+          counted against exactly this set (minus members the decider has
+          since removed from its view), so every site evaluates the same
+          electorate even while views are changing *)
+  | Vote of { txn : Txn_id.t; voter : Site_id.t; yes : bool }
+  | Snapshot of { xfer : State_transfer.t; active : active_export list }
+
+let classify = function
+  | Write _ -> "write"
+  | Commit_req _ -> "commitreq"
+  | Vote _ -> "vote"
+  | Snapshot _ -> "snapshot"
+
+(* Per-transaction participant state; every site keeps one per update
+   transaction it has heard of. *)
+type part_rec = {
+  p_txn : Txn_id.t;
+  p_origin : Site_id.t;
+  mutable p_refused : bool;  (* a write of this txn was refused here *)
+  mutable p_cr_seen : bool;
+  mutable p_participants : Site_id.Set.t;  (* electorate; set with the cr *)
+  mutable p_votes_yes : Site_id.Set.t;
+  mutable p_votes_no : Site_id.Set.t;
+  mutable p_decided : bool;
+}
+
+type origin_rec = { o_spec : Op.spec; o_on_done : outcome -> unit }
+
+type site_state = {
+  core : Site_core.t;
+  ep : payload Endpoint.t;
+  part : part_rec Txn_id.Tbl.t;
+  orig : origin_rec Txn_id.Tbl.t;
+  mutable next_local : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  config : Config.t;
+  history : History.t;
+  group : payload Endpoint.group;
+  sites : site_state array;
+}
+
+let net_stats t = Endpoint.stats t.group
+let store t s = Site_core.store t.sites.(s).core
+let log t s = Site_core.log t.sites.(s).core
+
+let deadlocks _ = 0
+let supports_failures = true
+let crash t s = Endpoint.crash t.group s
+let recover t s = Endpoint.recover t.group s
+let partition t sites = Endpoint.partition t.group sites
+let heal t = Endpoint.heal t.group
+
+let trace_txn =
+  match Sys.getenv_opt "REPDB_TRACE_TXN" with
+  | Some v -> (match String.split_on_char '.' v with
+    | [o; l] -> Some (Txn_id.make ~origin:(int_of_string o) ~local:(int_of_string l))
+    | _ -> None)
+  | None -> None
+
+let tracef txn fmt =
+  if trace_txn = Some txn then Format.eprintf fmt
+  else Format.ifprintf Format.err_formatter fmt
+
+let part_of st ~txn ~origin =
+  match Txn_id.Tbl.find_opt st.part txn with
+  | Some p -> p
+  | None ->
+    let p =
+      {
+        p_txn = txn;
+        p_origin = origin;
+        p_refused = false;
+        p_cr_seen = false;
+        p_participants = Site_id.Set.empty;
+        p_votes_yes = Site_id.Set.empty;
+        p_votes_no = Site_id.Set.empty;
+        p_decided = false;
+      }
+    in
+    Txn_id.Tbl.add st.part txn p;
+    p
+
+let finish_at_origin t st txn outcome =
+  match Txn_id.Tbl.find_opt st.orig txn with
+  | Some o ->
+    Txn_id.Tbl.remove st.orig txn;
+    History.record_outcome t.history txn outcome;
+    o.o_on_done outcome
+  | None -> ()
+
+let abort_at t st p ~reason =
+  if not p.p_decided then begin
+    tracef p.p_txn "ABORT at site %d@." (Site_core.site st.core);
+    p.p_decided <- true;
+    Site_core.abort_local st.core ~txn:p.p_txn;
+    finish_at_origin t st p.p_txn (History.Aborted reason)
+  end
+
+let commit_at t st p =
+  if not p.p_decided then begin
+    tracef p.p_txn "COMMIT at site %d@." (Site_core.site st.core);
+    p.p_decided <- true;
+    Site_core.apply_commit st.core ~txn:p.p_txn;
+    finish_at_origin t st p.p_txn History.Committed
+  end
+
+(* Decide if possible. The electorate is the participant set the commit
+   request named; a negative vote from any participant aborts, and positive
+   votes covering every participant still in the decider's current view
+   commit. Failure-detection timeouts exceed message latency by orders of
+   magnitude, so a participant's vote is delivered everywhere long before
+   anyone removes it from a view — all sites settle on the same decision. *)
+let check_decision t st p =
+  if not p.p_decided && p.p_cr_seen then begin
+    if not (Site_id.Set.is_empty (Site_id.Set.inter p.p_votes_no p.p_participants))
+    then abort_at t st p ~reason:History.Write_conflict
+    else if Endpoint.is_primary st.ep then begin
+      let view = Endpoint.view st.ep in
+      let electorate =
+        Site_id.Set.filter
+          (fun m -> Broadcast.View.mem view m)
+          p.p_participants
+      in
+      if
+        (not (Site_id.Set.is_empty electorate))
+        && Site_id.Set.subset electorate p.p_votes_yes
+      then commit_at t st p
+    end
+  end
+
+let cast_vote st p =
+  let yes = not p.p_refused in
+  ignore
+    (Endpoint.broadcast st.ep `Reliable
+       (Vote { txn = p.p_txn; voter = Site_core.site st.core; yes }))
+
+let handle_write t st ~txn ~origin ~key ~value =
+  let p = part_of st ~txn ~origin in
+  tracef txn "site %d: write key=%d decided=%b@." (Site_core.site st.core) key p.p_decided;
+  if not p.p_decided then begin
+    Site_core.buffer_write st.core ~txn key value;
+    match Site_core.acquire_write st.core ~txn key ~on_granted:(fun () -> ()) with
+    | Db.Lock_manager.Granted -> ()
+    | Db.Lock_manager.Refused -> p.p_refused <- true
+    | Db.Lock_manager.Queued -> assert false (* No_wait policy *)
+  end;
+  ignore t
+
+let handle_commit_req t st ~txn ~origin ~participants =
+  let p = part_of st ~txn ~origin in
+  tracef txn "site %d: cr participants=[%s] refused=%b decided=%b@."
+    (Site_core.site st.core)
+    (String.concat "," (List.map string_of_int participants)) p.p_refused p.p_decided;
+  if not p.p_decided then begin
+    p.p_cr_seen <- true;
+    p.p_participants <- Site_id.Set.of_list participants;
+    cast_vote st p;
+    check_decision t st p
+  end
+
+let handle_vote t st ~txn ~origin ~voter ~yes =
+  let p = part_of st ~txn ~origin in
+  tracef txn "site %d: vote %b from %d (decided=%b)@." (Site_core.site st.core) yes voter p.p_decided;
+  if not p.p_decided then begin
+    if yes then p.p_votes_yes <- Site_id.Set.add voter p.p_votes_yes
+    else p.p_votes_no <- Site_id.Set.add voter p.p_votes_no;
+    check_decision t st p
+  end
+
+let deliver t st (d : payload Endpoint.delivery) =
+  let origin = d.Endpoint.id.Broadcast.Msg_id.origin in
+  match d.Endpoint.payload with
+  | Write { txn; key; value } -> handle_write t st ~txn ~origin ~key ~value
+  | Commit_req { txn; participants } ->
+    handle_commit_req t st ~txn ~origin ~participants
+  | Vote { txn; voter; yes } ->
+    (* the txn's origin is not the vote's broadcast origin *)
+    handle_vote t st ~txn ~origin:txn.Txn_id.origin ~voter ~yes
+  | Snapshot _ -> ()  (* snapshots ride only inside join commits *)
+
+(* A view change re-evaluates every pending transaction: the vote quorum
+   shrinks with the view, and transactions whose origin left before their
+   commit request arrived can never terminate — abort them. *)
+let on_view_change t st view =
+  Txn_id.Tbl.iter
+    (fun _ p ->
+      if not p.p_decided then begin
+        if (not p.p_cr_seen) && not (Broadcast.View.mem view p.p_origin) then
+          abort_at t st p ~reason:History.View_change
+        else check_decision t st p
+      end)
+    st.part
+
+(* ---------------- state transfer ---------------- *)
+
+let export_snapshot t st =
+  ignore t;
+  let active =
+    Txn_id.Tbl.fold
+      (fun _ p acc ->
+        if p.p_decided then acc
+        else
+          {
+            ax_txn = p.p_txn;
+            ax_origin = p.p_origin;
+            ax_writes = Site_core.buffered_writes st.core ~txn:p.p_txn;
+            ax_refused = p.p_refused;
+            ax_cr_seen = p.p_cr_seen;
+            ax_participants = Site_id.Set.elements p.p_participants;
+            ax_votes_yes = Site_id.Set.elements p.p_votes_yes;
+            ax_votes_no = Site_id.Set.elements p.p_votes_no;
+          }
+          :: acc)
+      st.part []
+  in
+  Snapshot { xfer = State_transfer.export st.core; active }
+
+let install_snapshot t st = function
+  | Snapshot { xfer; active } ->
+    Txn_id.Tbl.reset st.part;
+    Txn_id.Tbl.reset st.orig;
+    State_transfer.import st.core xfer;
+    List.iter
+      (fun ax ->
+        let p = part_of st ~txn:ax.ax_txn ~origin:ax.ax_origin in
+        p.p_refused <- ax.ax_refused;
+        p.p_cr_seen <- ax.ax_cr_seen;
+        p.p_participants <- Site_id.Set.of_list ax.ax_participants;
+        p.p_votes_yes <- Site_id.Set.of_list ax.ax_votes_yes;
+        p.p_votes_no <- Site_id.Set.of_list ax.ax_votes_no;
+        (* Re-acquire locks only for transactions the snapshot peer had
+           granted: those are mutually conflict-free, so re-acquisition
+           cannot depend on import order. Refused ones keep their flag. *)
+        List.iter
+          (fun (key, value) ->
+            Site_core.buffer_write st.core ~txn:ax.ax_txn key value;
+            if not ax.ax_refused then begin
+              match
+                Site_core.acquire_write st.core ~txn:ax.ax_txn key
+                  ~on_granted:(fun () -> ())
+              with
+              | Db.Lock_manager.Granted -> ()
+              | Db.Lock_manager.Refused -> p.p_refused <- true
+              | Db.Lock_manager.Queued -> assert false
+            end)
+          ax.ax_writes;
+        (* Sites that already count us in their view are waiting for our
+           vote on any imported transaction whose commit request has been
+           seen — cast it or they block forever. Deferred one event: the
+           endpoint finishes its join installation after this hook runs. *)
+        if p.p_cr_seen then
+          ignore
+            (Sim.Engine.schedule t.engine ~delay:Sim.Time.zero (fun () ->
+                 if Endpoint.is_ready st.ep && not p.p_decided then
+                   cast_vote st p));
+        check_decision t st p)
+      active
+  | Write _ | Commit_req _ | Vote _ ->
+    invalid_arg "Reliable_proto: bad snapshot payload"
+
+(* ---------------- construction and submission ---------------- *)
+
+let create engine config ~history =
+  let group =
+    Endpoint.create_group engine ~n:config.Config.n_sites
+      ~latency:config.Config.latency ~classify
+      ~hb_interval:config.Config.hb_interval
+      ~suspect_after:config.Config.suspect_after ~flood:config.Config.flood
+      ?loss:config.Config.loss ()
+  in
+  let make_site site =
+    {
+      core =
+        Site_core.create engine ~site ~policy:Db.Lock_manager.No_wait ~history;
+      ep = (Endpoint.endpoints group).(site);
+      part = Txn_id.Tbl.create 64;
+      orig = Txn_id.Tbl.create 64;
+      next_local = 0;
+    }
+  in
+  let t =
+    {
+      engine;
+      config;
+      history;
+      group;
+      sites = Array.init config.Config.n_sites make_site;
+    }
+  in
+  Array.iter
+    (fun st ->
+      Endpoint.set_deliver st.ep (fun d -> deliver t st d);
+      Endpoint.set_on_view st.ep (fun view -> on_view_change t st view);
+      Endpoint.set_snapshot_hooks st.ep
+        ~get:(fun () -> export_snapshot t st)
+        ~install:(fun payload -> install_snapshot t st payload))
+    t.sites;
+  t
+
+let debug_site t s =
+  let st = t.sites.(s) in
+  let pending =
+    Txn_id.Tbl.fold
+      (fun _ p acc ->
+        if p.p_decided then acc
+        else
+          Format.asprintf "%a[cr=%b ref=%b no={%s} yes={%s}]" Txn_id.pp p.p_txn
+            p.p_cr_seen p.p_refused
+            (String.concat ","
+               (List.map Site_id.to_string (Site_id.Set.elements p.p_votes_no)))
+            (String.concat ","
+               (List.map Site_id.to_string (Site_id.Set.elements p.p_votes_yes)))
+          :: acc)
+      st.part []
+  in
+  Format.asprintf "site=%d ready=%b %a pending=[%s]" s (Endpoint.is_ready st.ep)
+    Broadcast.View.pp (Endpoint.view st.ep)
+    (String.concat " " pending)
+
+let submit t ~origin spec ~on_done =
+  let st = t.sites.(origin) in
+  st.next_local <- st.next_local + 1;
+  let txn = Txn_id.make ~origin ~local:st.next_local in
+  History.begin_txn t.history txn ~origin;
+  if not (Endpoint.is_ready st.ep) then begin
+    (* The site is down or mid-join: reject rather than act on stale state. *)
+    History.record_outcome t.history txn (History.Aborted History.View_change);
+    on_done (History.Aborted History.View_change);
+    txn
+  end
+  else begin
+  Txn_id.Tbl.add st.orig txn { o_spec = spec; o_on_done = on_done };
+  Site_core.run_reads st.core ~txn ~keys:spec.Op.reads ~on_done:(fun results ->
+      let writes = Op.write_set spec ~read_results:results in
+      History.record_writes t.history txn writes;
+      if writes = [] then begin
+        (* Read-only: local commit, no broadcast, never aborted. *)
+        Site_core.abort_local st.core ~txn;  (* releases read locks *)
+        finish_at_origin t st txn History.Committed
+      end
+      else begin
+        List.iter
+          (fun (key, value) ->
+            ignore (Endpoint.broadcast st.ep `Reliable (Write { txn; key; value })))
+          writes;
+        let participants =
+          Broadcast.View.members_list (Endpoint.view st.ep)
+        in
+        ignore
+          (Endpoint.broadcast st.ep `Reliable (Commit_req { txn; participants }))
+      end);
+    txn
+  end

@@ -1,0 +1,121 @@
+module Txn_id = Db.Txn_id
+
+type t = {
+  site : Net.Site_id.t;
+  mutable store : Db.Version_store.t;
+  mutable locks : Db.Lock_manager.t;
+  mutable log : Db.Redo_log.t;
+  history : Verify.History.t;
+  (* (txn, key) -> resume-once-granted continuation *)
+  waiting : (Txn_id.t * Op.key, unit -> unit) Hashtbl.t;
+  buffers : (Op.key * Op.value) list ref Txn_id.Tbl.t;  (* reversed arrival *)
+}
+
+let create _engine ~site ~policy ~history =
+  (* the engine parameter keeps construction uniform with the protocol
+     layers; the site runtime itself is purely reactive *)
+  let t =
+    {
+      site;
+      store = Db.Version_store.create ();
+      locks = Db.Lock_manager.create ~policy ~on_grant:(fun _ _ _ -> ());
+      log = Db.Redo_log.create ();
+      history;
+      waiting = Hashtbl.create 32;
+      buffers = Txn_id.Tbl.create 32;
+    }
+  in
+  let on_grant txn key _mode =
+    match Hashtbl.find_opt t.waiting (txn, key) with
+    | Some continue ->
+      Hashtbl.remove t.waiting (txn, key);
+      continue ()
+    | None -> ()
+  in
+  t.locks <- Db.Lock_manager.create ~policy ~on_grant;
+  t
+
+let site t = t.site
+let store t = t.store
+let locks t = t.locks
+let log t = t.log
+let history t = t.history
+
+let replace_store t store = t.store <- store
+let reset_log t = t.log <- Db.Redo_log.create ()
+
+let run_reads t ~txn ~keys ~on_done =
+  let rec step remaining acc =
+    match remaining with
+    | [] -> on_done (List.rev acc)
+    | key :: rest ->
+      let perform () =
+        let value = Db.Version_store.read_latest t.store key in
+        Verify.History.record_read t.history txn key
+          ~from:(Db.Version_store.writer_of t.store key);
+        step rest ((key, value) :: acc)
+      in
+      (match Db.Lock_manager.acquire t.locks ~txn key Db.Lock_manager.Shared with
+      | Db.Lock_manager.Granted -> perform ()
+      | Db.Lock_manager.Queued -> Hashtbl.replace t.waiting (txn, key) perform
+      | Db.Lock_manager.Refused ->
+        (* Shared requests are queued, never refused. *)
+        assert false)
+  in
+  step keys []
+
+let acquire_write t ~txn key ~on_granted =
+  let decision =
+    Db.Lock_manager.acquire t.locks ~txn key Db.Lock_manager.Exclusive
+  in
+  (match decision with
+  | Db.Lock_manager.Queued -> Hashtbl.replace t.waiting (txn, key) on_granted
+  | Db.Lock_manager.Granted | Db.Lock_manager.Refused -> ());
+  decision
+
+let buffer_write t ~txn key value =
+  match Txn_id.Tbl.find_opt t.buffers txn with
+  | Some l -> l := (key, value) :: !l
+  | None -> Txn_id.Tbl.add t.buffers txn (ref [ (key, value) ])
+
+let buffered_writes t ~txn =
+  match Txn_id.Tbl.find_opt t.buffers txn with
+  | None -> []
+  | Some l ->
+    (* reversed arrival order: keep the newest value per key, emit keys in
+       first-write order *)
+    let newest = Hashtbl.create 8 in
+    List.iter
+      (fun (k, v) -> if not (Hashtbl.mem newest k) then Hashtbl.add newest k v)
+      !l;
+    List.rev !l
+    |> List.filter_map (fun (k, _) ->
+           match Hashtbl.find_opt newest k with
+           | Some v ->
+             Hashtbl.remove newest k;
+             Some (k, v)
+           | None -> None)
+
+let cancel_waits t txn =
+  let stale =
+    Hashtbl.fold
+      (fun (id, key) _ acc -> if Txn_id.equal id txn then (id, key) :: acc else acc)
+      t.waiting []
+  in
+  List.iter (Hashtbl.remove t.waiting) stale
+
+let forget t ~txn =
+  Txn_id.Tbl.remove t.buffers txn;
+  cancel_waits t txn
+
+let apply_commit t ~txn =
+  let writes = buffered_writes t ~txn in
+  let index = Db.Version_store.apply t.store ~writer:txn writes in
+  Db.Redo_log.append t.log ~txn ~writes ~index;
+  Verify.History.record_apply t.history ~site:t.site txn;
+  forget t ~txn;
+  Db.Lock_manager.release_all t.locks txn
+
+let abort_local t ~txn =
+  forget t ~txn;
+  Db.Lock_manager.release_all t.locks txn

@@ -1,0 +1,74 @@
+(** Per-site runtime shared by the locking protocols.
+
+    Owns one replica: the versioned store, the strict-2PL lock manager, the
+    redo log, pending write buffers (updates are buffered from delivery
+    until commit — strictness), and the continuations of transactions
+    waiting on read locks. The baseline uses it with the [Wait] policy, the
+    reliable- and causal-broadcast protocols with [No_wait]. *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  site:Net.Site_id.t ->
+  policy:Db.Lock_manager.policy ->
+  history:Verify.History.t ->
+  t
+
+val site : t -> Net.Site_id.t
+val store : t -> Db.Version_store.t
+val locks : t -> Db.Lock_manager.t
+val log : t -> Db.Redo_log.t
+val history : t -> Verify.History.t
+
+val replace_store : t -> Db.Version_store.t -> unit
+(** Install a transferred snapshot (join-time state transfer). *)
+
+val reset_log : t -> unit
+(** Start the redo log afresh (the importer replays the snapshot's log). *)
+
+(** {2 Read phase} *)
+
+val run_reads :
+  t ->
+  txn:Db.Txn_id.t ->
+  keys:Op.key list ->
+  on_done:((Op.key * Op.value) list -> unit) ->
+  unit
+(** Acquire shared locks and read, key by key, in order; waits (resuming on
+    lock grant) as needed — shared requests are never refused. [on_done]
+    receives the read results and each read is recorded in the history with
+    the transaction it read from. If the transaction is aborted while
+    waiting ({!cancel_waits}), the continuation is dropped. *)
+
+val acquire_write :
+  t ->
+  txn:Db.Txn_id.t ->
+  Op.key ->
+  on_granted:(unit -> unit) ->
+  Db.Lock_manager.decision
+(** Request an exclusive lock. On [Granted] the caller proceeds now (the
+    callback does not fire); on [Queued] (Wait policy) the callback fires at
+    grant time; on [Refused] (No_wait policy) nothing is registered. *)
+
+(** {2 Write buffering} *)
+
+val buffer_write : t -> txn:Db.Txn_id.t -> Op.key -> Op.value -> unit
+(** Remember a delivered-but-uncommitted write. Later writes by the same
+    transaction to the same key supersede earlier ones. *)
+
+val buffered_writes : t -> txn:Db.Txn_id.t -> (Op.key * Op.value) list
+(** Current buffer, in first-write order with last-wins values. *)
+
+(** {2 Termination} *)
+
+val apply_commit : t -> txn:Db.Txn_id.t -> unit
+(** Apply the buffer to the store, append to the redo log, record the apply
+    in the history, release all locks (promoting waiters) and forget the
+    transaction locally. *)
+
+val abort_local : t -> txn:Db.Txn_id.t -> unit
+(** Discard the buffer, drop any waiting continuations, release locks. *)
+
+val forget : t -> txn:Db.Txn_id.t -> unit
+(** Drop bookkeeping without touching locks (read-only local commit). *)

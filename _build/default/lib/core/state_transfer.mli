@@ -1,0 +1,20 @@
+(** Replica state transfer for join-time recovery.
+
+    A snapshot carries the versioned store and the redo-log order of the
+    committed transactions it reflects. Importing replays that order into
+    the joiner's redo log and the shared history, so the verifier sees the
+    joiner's apply sequence as a consistent continuation rather than a
+    truncated stream. Protocol-specific in-flight transaction state rides
+    alongside in each protocol's own snapshot type. *)
+
+type t = {
+  xfer_dump : Db.Version_store.dump;
+  xfer_log : (Db.Txn_id.t * (Op.key * Op.value) list) list;
+      (** committed write sets, oldest first *)
+}
+
+val export : Site_core.t -> t
+
+val import : Site_core.t -> t -> unit
+(** Replace the store, rebuild the redo log, and record the applies in the
+    history under the importing site. *)

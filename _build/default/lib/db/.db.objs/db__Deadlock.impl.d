@@ -1,0 +1,1 @@
+lib/db/deadlock.ml: List Txn_id

@@ -1,0 +1,1 @@
+lib/db/deadlock.mli: Txn_id

@@ -1,0 +1,1 @@
+lib/db/lock_manager.ml: Hashtbl List Option Txn_id

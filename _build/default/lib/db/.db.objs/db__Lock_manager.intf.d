@@ -1,0 +1,1 @@
+lib/db/lock_manager.mli: Txn_id

@@ -1,0 +1,1 @@
+lib/db/redo_log.ml: List Txn_id Version_store

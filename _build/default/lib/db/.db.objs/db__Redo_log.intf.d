@@ -1,0 +1,1 @@
+lib/db/redo_log.mli: Txn_id Version_store

@@ -1,0 +1,1 @@
+lib/db/txn_id.ml: Format Hashtbl Int Map Net Set

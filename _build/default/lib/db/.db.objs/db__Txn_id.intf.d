@@ -1,0 +1,1 @@
+lib/db/txn_id.mli: Format Hashtbl Map Net Set

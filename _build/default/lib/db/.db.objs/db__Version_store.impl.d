@@ -1,0 +1,1 @@
+lib/db/version_store.ml: Hashtbl Int List Option Txn_id

@@ -1,0 +1,1 @@
+lib/db/version_store.mli: Txn_id

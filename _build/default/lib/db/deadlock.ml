@@ -1,0 +1,46 @@
+let find_cycle edges =
+  (* DFS with three colors over the adjacency built from the edge list. *)
+  let adj = Txn_id.Tbl.create 16 in
+  List.iter
+    (fun (a, b) ->
+      match Txn_id.Tbl.find_opt adj a with
+      | Some l -> l := b :: !l
+      | None -> Txn_id.Tbl.add adj a (ref [ b ]))
+    edges;
+  let visiting = Txn_id.Tbl.create 16 in
+  let done_ = Txn_id.Tbl.create 16 in
+  let exception Found of Txn_id.t list in
+  (* [path] holds the current DFS stack, most recent first. *)
+  let rec dfs path node =
+    if Txn_id.Tbl.mem visiting node then begin
+      (* cycle: the prefix of [path] up to and including [node] *)
+      let rec take acc = function
+        | [] -> acc
+        | x :: rest ->
+          if Txn_id.equal x node then x :: acc else take (x :: acc) rest
+      in
+      raise (Found (take [] path))
+    end
+    else if not (Txn_id.Tbl.mem done_ node) then begin
+      Txn_id.Tbl.add visiting node ();
+      let succs =
+        match Txn_id.Tbl.find_opt adj node with Some l -> !l | None -> []
+      in
+      List.iter (dfs (node :: path)) (List.sort Txn_id.compare succs);
+      Txn_id.Tbl.remove visiting node;
+      Txn_id.Tbl.add done_ node ()
+    end
+  in
+  let roots =
+    List.sort_uniq Txn_id.compare (List.map fst edges)
+  in
+  match List.iter (fun r -> dfs [] r) roots with
+  | () -> None
+  | exception Found cycle -> Some cycle
+
+let choose_victim = function
+  | [] -> invalid_arg "Deadlock.choose_victim: empty cycle"
+  | first :: rest ->
+    List.fold_left
+      (fun worst t -> if Txn_id.compare t worst > 0 then t else worst)
+      first rest

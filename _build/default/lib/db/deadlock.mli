@@ -1,0 +1,16 @@
+(** Waits-for-graph deadlock detection.
+
+    Used only by the point-to-point baseline protocol, whose blocking writes
+    can deadlock; the broadcast protocols prevent deadlock by construction
+    (no-wait writes) and never need this module — experiment E6 demonstrates
+    exactly that difference. *)
+
+val find_cycle : (Txn_id.t * Txn_id.t) list -> Txn_id.t list option
+(** A cycle in the waits-for graph (edges [waiter -> blocker]), as the list
+    of transactions on it, or [None]. Deterministic for a given edge
+    list. *)
+
+val choose_victim : Txn_id.t list -> Txn_id.t
+(** The youngest transaction on the cycle (largest {!Txn_id.compare}):
+    aborting the youngest wastes the least completed work. Raises
+    [Invalid_argument] on an empty cycle. *)

@@ -1,0 +1,178 @@
+type key = int
+type mode = Shared | Exclusive
+type policy = Wait | No_wait
+type decision = Granted | Queued | Refused
+
+type entry = {
+  mutable holders : (Txn_id.t * mode) list;  (* unordered *)
+  mutable queue : (Txn_id.t * mode) list;  (* FIFO: head is next *)
+}
+
+type t = {
+  policy : policy;
+  on_grant : Txn_id.t -> key -> mode -> unit;
+  table : (key, entry) Hashtbl.t;
+  by_txn : key list ref Txn_id.Tbl.t;  (* keys a txn holds or waits on *)
+}
+
+let create ~policy ~on_grant =
+  { policy; on_grant; table = Hashtbl.create 64; by_txn = Txn_id.Tbl.create 64 }
+
+let entry t k =
+  match Hashtbl.find_opt t.table k with
+  | Some e -> e
+  | None ->
+    let e = { holders = []; queue = [] } in
+    Hashtbl.add t.table k e;
+    e
+
+let track t txn k =
+  match Txn_id.Tbl.find_opt t.by_txn txn with
+  | Some keys -> if not (List.mem k !keys) then keys := k :: !keys
+  | None -> Txn_id.Tbl.add t.by_txn txn (ref [ k ])
+
+let compatible a b =
+  match a, b with Shared, Shared -> true | _, _ -> false
+
+let holder_mode e txn =
+  List.find_map
+    (fun (id, m) -> if Txn_id.equal id txn then Some m else None)
+    e.holders
+
+(* Can a request by [txn] with [mode] be granted immediately given the
+   current holders (ignoring the queue)? *)
+let holders_allow e txn mode =
+  List.for_all
+    (fun (id, m) -> Txn_id.equal id txn || compatible mode m)
+    e.holders
+
+let acquire t ~txn k mode =
+  let e = entry t k in
+  match holder_mode e txn with
+  | Some Exclusive -> Granted
+  | Some Shared when mode = Shared -> Granted
+  | held -> begin
+    (* New request, or a Shared->Exclusive upgrade. Strict FIFO: the queue
+       must be empty for an immediate grant, so nobody overtakes. *)
+    let immediate = holders_allow e txn mode && e.queue = [] in
+    if immediate then begin
+      (match held with
+      | Some Shared ->
+        (* upgrade: replace the shared holding *)
+        e.holders <-
+          (txn, Exclusive)
+          :: List.filter (fun (id, _) -> not (Txn_id.equal id txn)) e.holders
+      | Some Exclusive -> assert false
+      | None -> e.holders <- (txn, mode) :: e.holders);
+      track t txn k;
+      Granted
+    end
+    else begin
+      match mode, t.policy with
+      | Exclusive, No_wait -> Refused
+      | Exclusive, Wait | Shared, _ ->
+        e.queue <- e.queue @ [ (txn, mode) ];
+        track t txn k;
+        Queued
+    end
+  end
+
+(* Promote queued requests after holders changed. Returns grants to fire
+   after the table is consistent. *)
+let promote e =
+  let grants = ref [] in
+  let rec loop () =
+    match e.queue with
+    | [] -> ()
+    | (txn, mode) :: rest ->
+      let can_grant =
+        List.for_all
+          (fun (id, m) -> Txn_id.equal id txn || compatible mode m)
+          e.holders
+      in
+      if can_grant then begin
+        e.queue <- rest;
+        (* The queued request may be an upgrade: drop any shared holding. *)
+        e.holders <-
+          (txn, mode)
+          :: List.filter (fun (id, _) -> not (Txn_id.equal id txn)) e.holders;
+        grants := (txn, mode) :: !grants;
+        loop ()
+      end
+  in
+  loop ();
+  List.rev !grants
+
+let release_all t txn =
+  match Txn_id.Tbl.find_opt t.by_txn txn with
+  | None -> ()
+  | Some keys ->
+    Txn_id.Tbl.remove t.by_txn txn;
+    let fired = ref [] in
+    List.iter
+      (fun k ->
+        match Hashtbl.find_opt t.table k with
+        | None -> ()
+        | Some e ->
+          let not_txn (id, _) = not (Txn_id.equal id txn) in
+          e.holders <- List.filter not_txn e.holders;
+          e.queue <- List.filter not_txn e.queue;
+          List.iter
+            (fun (id, mode) -> fired := (id, k, mode) :: !fired)
+            (promote e))
+      !keys;
+    List.iter
+      (fun (id, k, mode) ->
+        track t id k;
+        t.on_grant id k mode)
+      (List.rev !fired)
+
+let holds t ~txn k mode =
+  match Hashtbl.find_opt t.table k with
+  | None -> false
+  | Some e -> begin
+    match holder_mode e txn with
+    | Some Exclusive -> true
+    | Some Shared -> mode = Shared
+    | None -> false
+  end
+
+let held_keys t txn =
+  match Txn_id.Tbl.find_opt t.by_txn txn with
+  | None -> []
+  | Some keys ->
+    List.filter_map
+      (fun k ->
+        match Hashtbl.find_opt t.table k with
+        | None -> None
+        | Some e -> Option.map (fun m -> (k, m)) (holder_mode e txn))
+      !keys
+
+let holders t k =
+  match Hashtbl.find_opt t.table k with Some e -> e.holders | None -> []
+
+let waiters t k =
+  match Hashtbl.find_opt t.table k with Some e -> e.queue | None -> []
+
+let waits_for_edges t =
+  Hashtbl.fold
+    (fun _ e acc ->
+      let rec walk ahead acc = function
+        | [] -> acc
+        | (waiter, mode) :: rest ->
+          let blockers =
+            List.filter
+              (fun (id, m) ->
+                (not (Txn_id.equal id waiter)) && not (compatible mode m))
+              (e.holders @ ahead)
+          in
+          let acc =
+            List.fold_left (fun acc (b, _) -> (waiter, b) :: acc) acc blockers
+          in
+          walk (ahead @ [ (waiter, mode) ]) acc rest
+      in
+      walk [] acc e.queue)
+    t.table []
+
+let active_txns t =
+  Txn_id.Tbl.fold (fun txn _ acc -> txn :: acc) t.by_txn []

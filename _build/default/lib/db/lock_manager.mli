@@ -1,0 +1,66 @@
+(** Strict two-phase locking for one site.
+
+    The paper assumes "concurrency control is locally enforced by strict
+    two-phase locking at all database sites": locks are held until commit or
+    abort. Two write-conflict policies are provided, matching the two
+    families of protocols:
+
+    - [Wait]: a conflicting exclusive request queues behind the holders —
+      the point-to-point baseline's behaviour, which can deadlock; pair it
+      with {!Deadlock}.
+    - [No_wait]: a conflicting exclusive request is {e refused} — the
+      broadcast protocols' behaviour. Refusal makes the requesting
+      transaction's site vote negatively (or send a NACK); because writers
+      never wait, every wait-for chain is a single reader-blocked-on-writer
+      edge, so deadlock is impossible (the paper's deadlock-prevention
+      claim; property-tested).
+
+    Shared requests always queue on conflict (readers are never refused —
+    the rule behind "read-only transactions are never aborted").
+
+    Queueing is strict FIFO per key: a shared request behind a queued
+    exclusive one waits its turn, so writers are not starved. *)
+
+type key = int
+
+type mode = Shared | Exclusive
+
+type policy = Wait | No_wait
+
+type decision =
+  | Granted
+  | Queued
+  | Refused  (** only exclusive requests under [No_wait] *)
+
+type t
+
+val create : policy:policy -> on_grant:(Txn_id.t -> key -> mode -> unit) -> t
+(** [on_grant] fires when a previously queued request is granted by a
+    release (never re-entrantly from {!acquire}). *)
+
+val acquire : t -> txn:Txn_id.t -> key -> mode -> decision
+(** Request a lock. Re-acquiring a held mode (or [Shared] while holding
+    [Exclusive]) is [Granted] idempotently. A [Shared]-to-[Exclusive]
+    upgrade is granted iff the transaction is the sole holder and no one is
+    queued; otherwise it conflicts per the policy. *)
+
+val release_all : t -> Txn_id.t -> unit
+(** Drop every lock held or requested by the transaction (commit or abort),
+    promoting queued requests; each promotion fires [on_grant]. *)
+
+val holds : t -> txn:Txn_id.t -> key -> mode -> bool
+
+val held_keys : t -> Txn_id.t -> (key * mode) list
+
+val holders : t -> key -> (Txn_id.t * mode) list
+
+val waiters : t -> key -> (Txn_id.t * mode) list
+(** In queue order. *)
+
+val waits_for_edges : t -> (Txn_id.t * Txn_id.t) list
+(** Edges [waiter -> blocker]: each queued transaction waits for every
+    incompatible holder and every incompatible transaction queued ahead of
+    it. Input to {!Deadlock.find_cycle}. *)
+
+val active_txns : t -> Txn_id.t list
+(** Transactions currently holding or waiting, unordered. *)

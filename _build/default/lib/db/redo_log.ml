@@ -1,0 +1,27 @@
+type entry = { txn : Txn_id.t; writes : (int * int) list; index : int }
+
+type t = { mutable entries : entry list (* newest first *); mutable length : int }
+
+let create () = { entries = []; length = 0 }
+
+let append t ~txn ~writes ~index =
+  (match t.entries with
+  | { index = prev; _ } :: _ when index <= prev ->
+    invalid_arg "Redo_log.append: non-increasing commit index"
+  | _ -> ());
+  t.entries <- { txn; writes; index } :: t.entries;
+  t.length <- t.length + 1
+
+let entries t = List.rev t.entries
+
+let length t = t.length
+
+let replay t =
+  let store = Version_store.create () in
+  List.iter
+    (fun e ->
+      let applied = Version_store.apply store e.writes in
+      if applied <> e.index then
+        invalid_arg "Redo_log.replay: log indices not contiguous")
+    (entries t);
+  store

@@ -1,0 +1,28 @@
+(** Append-only redo log for one replica.
+
+    Commits append their write sets; recovery replays the log into a fresh
+    {!Version_store}. The log is the stable-storage half of the crash model:
+    a recovering site could replay its own log and then catch up from a
+    peer, though the join protocol in this implementation transfers a full
+    snapshot (simpler, and the paper does not specify recovery). The log
+    still earns its keep: tests replay it to check that replayed state
+    matches the live store, an end-to-end audit of commit application. *)
+
+type t
+
+type entry = { txn : Txn_id.t; writes : (int * int) list; index : int }
+
+val create : unit -> t
+
+val append : t -> txn:Txn_id.t -> writes:(int * int) list -> index:int -> unit
+(** Record a committed write set with the commit index the store assigned
+    it. Indices must be appended in increasing order. *)
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val length : t -> int
+
+val replay : t -> Version_store.t
+(** A fresh store with every logged write set re-applied in order. Raises
+    [Invalid_argument] if the log indices are not contiguous from 1. *)

@@ -1,0 +1,1 @@
+lib/exper/analytic.ml: Net Repdb Sim

@@ -1,0 +1,1 @@
+lib/exper/analytic.mli: Net Repdb

@@ -1,0 +1,1 @@
+lib/exper/experiments.ml: Analytic Array Broadcast Hashtbl List Net Repdb Runner Sim Stats Verify Workload

@@ -1,0 +1,1 @@
+lib/exper/experiments.mli: Stats

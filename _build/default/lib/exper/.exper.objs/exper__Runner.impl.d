@@ -1,0 +1,1 @@
+lib/exper/runner.ml: Array Db List Net Option Repdb Sim Stats Verify Workload

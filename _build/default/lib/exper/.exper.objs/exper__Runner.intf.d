@@ -1,0 +1,1 @@
+lib/exper/runner.mli: Db Net Repdb Sim Stats Verify Workload

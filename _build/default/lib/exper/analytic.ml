@@ -1,0 +1,40 @@
+let harmonic k =
+  let rec sum acc i = if i = 0 then acc else sum (acc +. (1.0 /. float_of_int i)) (i - 1) in
+  sum 0.0 k
+
+let mean_one_way_ms latency = Sim.Time.to_ms (Net.Latency.mean latency)
+
+let max_one_way_ms latency ~k =
+  if k <= 0 then 0.0
+  else begin
+    match latency with
+    | Net.Latency.Constant d -> Sim.Time.to_ms d
+    | Net.Latency.Exp_shifted (base, mean_extra) ->
+      Sim.Time.to_ms base +. (Sim.Time.to_ms mean_extra *. harmonic k)
+    | Net.Latency.Uniform (lo, hi) ->
+      (* E[max of k U(lo,hi)] = lo + (hi-lo)·k/(k+1) *)
+      let lo = Sim.Time.to_ms lo and hi = Sim.Time.to_ms hi in
+      lo +. ((hi -. lo) *. (float_of_int k /. float_of_int (k + 1)))
+  end
+
+let commit_latency_ms proto ~n ~latency ~idle_ack_ms =
+  let maxow k = max_one_way_ms latency ~k in
+  let d = mean_one_way_ms latency in
+  match proto with
+  | Repdb.Protocol.Baseline ->
+    (* write out + ack back from the slowest peer, then decentralized 2PC:
+       commit request out, votes back, both gated by the slowest site *)
+    (2.0 *. maxow (n - 1)) +. (2.0 *. maxow n)
+  | Repdb.Protocol.Reliable ->
+    (* no write acks: the commit request chases the writes down the same
+       FIFO links; the origin decides on the slowest vote's round trip *)
+    2.0 *. maxow n
+  | Repdb.Protocol.Causal ->
+    (* commit request out; each site speaks (at worst) after the idle-ack
+       delay; the implicit acknowledgments travel back *)
+    (2.0 *. maxow n) +. idle_ack_ms
+  | Repdb.Protocol.Atomic ->
+    (* non-sequencer origins pay request-to-sequencer + order-to-origin;
+       the sequencer's own transactions skip both hops *)
+    let remote = 2.0 *. d in
+    (float_of_int (n - 1) /. float_of_int n) *. remote

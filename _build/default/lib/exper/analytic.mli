@@ -1,0 +1,39 @@
+(** Closed-form cost models, in the analytical style of the paper's era.
+
+    Expected commit latency per protocol from the latency model's
+    parameters, using order statistics of the exponential tail (the
+    expected maximum of [k] exponentials with mean [m] is [m·H_k]). These
+    are deliberately simple round-counting approximations — no queueing, no
+    lock waits — and the benches print them next to the measured values so
+    the residual (contention, loopbacks, idle-ack scheduling) is visible.
+
+    Message-count analytics live with experiment E1
+    ({!Experiments.e1_messages}); this module covers latency (E2). *)
+
+val harmonic : int -> float
+(** [H_k = 1 + 1/2 + ... + 1/k]; [harmonic 0 = 0]. *)
+
+val mean_one_way_ms : Net.Latency.t -> float
+
+val max_one_way_ms : Net.Latency.t -> k:int -> float
+(** Expected value of the maximum of [k] independent one-way delays. Exact
+    for constant latency; [m·H_k] tail correction for the exponential
+    models; midpoint-based approximation for uniform. *)
+
+val commit_latency_ms :
+  Repdb.Protocol.id ->
+  n:int ->
+  latency:Net.Latency.t ->
+  idle_ack_ms:float ->
+  float
+(** Expected update-transaction commit latency at the origin:
+
+    - baseline: a write/ack round trip to the slowest of [n-1] peers, then
+      commit request out and votes back from the slowest of [n];
+    - reliable: commit request out and votes back (writes are not
+      acknowledged — they pipeline ahead);
+    - causal: commit request out, the idle-acknowledgment delay, and the
+      acknowledgments' trip back;
+    - atomic: commit request to the sequencer and the ordering message
+      back (a direct self-assignment when the origin is the sequencer,
+      averaged over origins). *)

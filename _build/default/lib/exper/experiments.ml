@@ -1,0 +1,602 @@
+module T = Stats.Table
+module R = Runner
+
+let protocols = Repdb.Protocol.all
+let broadcast_protocols = Repdb.Protocol.broadcast_based
+let name = Repdb.Protocol.name
+
+(* Wide key space, no read-only transactions: contention-free measurement
+   of the protocols' fixed costs. *)
+let costs_profile =
+  {
+    Workload.default with
+    Workload.n_keys = 20_000;
+    reads_per_txn = 2;
+    writes_per_txn = 4;
+    ro_fraction = 0.0;
+  }
+
+(* Datagrams attributable to transaction processing: everything except the
+   membership layer's heartbeats and join/sync traffic. *)
+let txn_datagrams result =
+  List.fold_left
+    (fun acc (category, count) ->
+      match category with
+      | "hb" | "join" | "sync" -> acc
+      | _ -> acc + count)
+    0 result.R.per_category
+
+(* ------------------------------------------------------------------ *)
+(* E1: message complexity *)
+
+let analytic_datagrams proto ~n ~w =
+  (* Point-to-point datagram counts per committed update transaction; the
+     simulator's physical broadcast fans one operation out to all n sites
+     (self-delivery included). *)
+  match proto with
+  | Repdb.Protocol.Baseline ->
+    (* w writes + w acks + commit request, all to n-1 peers; n votes each
+       to n-1 peers *)
+    ((2 * w) + 1) * (n - 1) + (n * (n - 1))
+  | Repdb.Protocol.Reliable ->
+    (* w writes + 1 commit request + n votes, each an n-receiver broadcast *)
+    (w + 1 + n) * n
+  | Repdb.Protocol.Causal ->
+    (* w writes + 1 commit request; acknowledgments are implicit (idle
+       acks are timing-dependent extras, visible in the measured column) *)
+    (w + 1) * n
+  | Repdb.Protocol.Atomic ->
+    (* w writes + 1 commit request, plus the sequencer's ordering message
+       to n-1 peers *)
+    ((w + 1) * n) + (n - 1)
+
+let e1_messages ?(quick = false) () =
+  let table =
+    T.create ~title:"E1 (Table 1): messages per committed update transaction"
+      ~columns:
+        [ "protocol"; "sites"; "bcast ops/txn"; "datagrams/txn"; "analytic";
+          "ack+vote datagrams/txn" ]
+  in
+  let txns = if quick then 60 else 300 in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun proto ->
+          let r =
+            R.run
+              (R.spec ~n_sites:n ~profile:costs_profile ~txns_per_site:txns
+                 ~mpl:1 ~seed:42 proto)
+          in
+          let committed = float_of_int r.R.committed in
+          let acks =
+            List.fold_left
+              (fun acc (c, k) ->
+                if c = "ack" || c = "vote" || c = "nack" then acc + k else acc)
+              0 r.R.per_category
+          in
+          T.add_row table
+            [
+              name proto;
+              T.cell_int n;
+              T.cell_float (float_of_int r.R.broadcasts /. committed);
+              T.cell_float (float_of_int (txn_datagrams r) /. committed);
+              T.cell_int
+                (analytic_datagrams proto ~n
+                   ~w:costs_profile.Workload.writes_per_txn);
+              T.cell_float (float_of_int acks /. committed);
+            ])
+        protocols)
+    (if quick then [ 5 ] else [ 3; 5; 7; 9 ]);
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E2: latency vs sites *)
+
+let e2_latency_sites ?(quick = false) () =
+  let table =
+    T.create ~title:"E2 (Figure 2): commit latency vs number of sites"
+      ~columns:[ "protocol"; "sites"; "mean"; "p50"; "p95"; "analytic" ]
+  in
+  let txns = if quick then 60 else 250 in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun proto ->
+          let r =
+            R.run
+              (R.spec ~n_sites:n ~profile:costs_profile ~txns_per_site:txns
+                 ~mpl:2 ~seed:7 proto)
+          in
+          let l = r.R.latency_ms in
+          T.add_row table
+            [
+              name proto;
+              T.cell_int n;
+              T.cell_ms (Stats.Summary.mean l);
+              T.cell_ms (Stats.Summary.median l);
+              T.cell_ms (Stats.Summary.percentile l 0.95);
+              T.cell_ms
+                (Analytic.commit_latency_ms proto ~n ~latency:Net.Latency.lan
+                   ~idle_ack_ms:10.0);
+            ])
+        protocols)
+    (if quick then [ 5 ] else [ 3; 5; 7; 9; 11 ]);
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E3: implicit acknowledgments vs background traffic *)
+
+let e3_implicit_ack ?(quick = false) () =
+  let table =
+    T.create
+      ~title:
+        "E3 (Figure 3): causal protocol, commit latency vs background traffic"
+      ~columns:
+        [ "variant"; "background txn/s/site"; "mean"; "p95"; "undecided" ]
+  in
+  let txns = if quick then 30 else 150 in
+  let run ~ack_delay ~bg label =
+    let config =
+      { (Repdb.Config.default ~n_sites:5) with Repdb.Config.ack_delay } in
+    let r =
+      R.run
+        (R.spec ~n_sites:5 ~config ~profile:costs_profile ~txns_per_site:txns
+           ~mpl:1 ~seed:11 ?background_rate:bg Repdb.Protocol.Causal)
+    in
+    T.add_row table
+      [
+        label;
+        (match bg with Some b -> T.cell_float b | None -> "0");
+        T.cell_ms (Stats.Summary.mean r.R.latency_ms);
+        T.cell_ms (Stats.Summary.percentile r.R.latency_ms 0.95);
+        T.cell_int r.R.undecided;
+      ]
+  in
+  let rates = if quick then [ Some 50.0 ] else [ Some 5.0; Some 20.0; Some 100.0; Some 500.0 ] in
+  List.iter (fun bg -> run ~ack_delay:None ~bg "implicit only") rates;
+  run ~ack_delay:None ~bg:None "implicit only";
+  run ~ack_delay:(Some (Sim.Time.of_ms 10)) ~bg:None "with 10ms idle-ack";
+  run ~ack_delay:(Some (Sim.Time.of_ms 2)) ~bg:None "with 2ms idle-ack";
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E4: abort rate vs contention *)
+
+let e4_aborts ?(quick = false) () =
+  let table =
+    T.create ~title:"E4 (Figure 4): abort rate vs access skew"
+      ~columns:[ "protocol"; "zipf theta"; "abort rate"; "deadlocks" ]
+  in
+  let txns = if quick then 40 else 200 in
+  let thetas = if quick then [ 0.9 ] else [ 0.0; 0.5; 0.8; 1.0; 1.2 ] in
+  let contended theta =
+    {
+      Workload.default with
+      Workload.n_keys = 200;
+      reads_per_txn = 2;
+      writes_per_txn = 3;
+      ro_fraction = 0.0;
+      zipf_theta = theta;
+    }
+  in
+  List.iter
+    (fun theta ->
+      List.iter
+        (fun proto ->
+          let r =
+            R.run
+              (R.spec ~n_sites:5 ~profile:(contended theta) ~txns_per_site:txns
+                 ~mpl:3 ~seed:5 proto)
+          in
+          T.add_row table
+            [
+              name proto;
+              T.cell_float ~decimals:1 theta;
+              T.cell_pct (R.abort_rate r);
+              T.cell_int r.R.deadlocks;
+            ])
+        protocols;
+      (* the causal protocol's early concurrent-write abort, as a variant *)
+      let config =
+        { (Repdb.Config.default ~n_sites:5) with Repdb.Config.early_ww_abort = true }
+      in
+      let r =
+        R.run
+          (R.spec ~n_sites:5 ~config ~profile:(contended theta)
+             ~txns_per_site:txns ~mpl:3 ~seed:5 Repdb.Protocol.Causal)
+      in
+      T.add_row table
+        [
+          "causal+early";
+          T.cell_float ~decimals:1 theta;
+          T.cell_pct (R.abort_rate r);
+          T.cell_int r.R.deadlocks;
+        ])
+    thetas;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E5: throughput vs multiprogramming level *)
+
+let e5_throughput ?(quick = false) () =
+  let table =
+    T.create ~title:"E5 (Figure 5): throughput vs multiprogramming level"
+      ~columns:[ "protocol"; "clients/site"; "committed txn/s"; "abort rate" ]
+  in
+  let txns = if quick then 60 else 250 in
+  let mpls = if quick then [ 4 ] else [ 1; 2; 4; 8; 16 ] in
+  List.iter
+    (fun mpl ->
+      List.iter
+        (fun proto ->
+          let r =
+            R.run
+              (R.spec ~n_sites:5
+                 ~profile:{ costs_profile with Workload.n_keys = 2_000 }
+                 ~txns_per_site:txns ~mpl ~seed:3 proto)
+          in
+          T.add_row table
+            [
+              name proto;
+              T.cell_int mpl;
+              T.cell_float ~decimals:0 r.R.throughput_tps;
+              T.cell_pct (R.abort_rate r);
+            ])
+        protocols)
+    mpls;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E6: deadlocks *)
+
+let e6_deadlocks ?(quick = false) () =
+  let table =
+    T.create
+      ~title:"E6 (Table 2): deadlock prevention under cross-conflict load"
+      ~columns:
+        [ "protocol"; "deadlock cycles"; "aborts"; "max latency"; "undecided" ]
+  in
+  let txns = if quick then 60 else 300 in
+  let profile =
+    {
+      Workload.default with
+      Workload.n_keys = 8;
+      reads_per_txn = 2;
+      writes_per_txn = 2;
+      ro_fraction = 0.0;
+    }
+  in
+  List.iter
+    (fun proto ->
+      let r =
+        R.run (R.spec ~n_sites:4 ~profile ~txns_per_site:txns ~mpl:3 ~seed:23 proto)
+      in
+      T.add_row table
+        [
+          name proto;
+          T.cell_int r.R.deadlocks;
+          T.cell_int r.R.aborted;
+          T.cell_ms (Stats.Summary.max r.R.latency_ms);
+          T.cell_int r.R.undecided;
+        ])
+    protocols;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E7: availability across a crash *)
+
+let e7_failover ?(quick = false) () =
+  let table =
+    T.create
+      ~title:
+        "E7 (Figure 6): availability across a crash and rejoin (5 sites) - per-phase commits"
+      ~columns:
+        [ "protocol"; "phase"; "committed"; "mean latency"; "p95 latency" ]
+  in
+  let txns = if quick then 500 else 1600 in
+  let crash_at = if quick then 0.3 else 1.0 in
+  let rejoin_at = if quick then 0.8 else 2.5 in
+  List.iter
+    (fun proto ->
+      let r =
+        R.run
+          (R.spec ~n_sites:5
+             ~profile:{ costs_profile with Workload.n_keys = 5_000 }
+             ~txns_per_site:txns ~mpl:2 ~seed:13
+             ~events:
+               [ (Sim.Time.of_sec crash_at, R.Crash 4);
+                 (Sim.Time.of_sec rejoin_at, R.Recover 4) ]
+             proto)
+      in
+      let phases =
+        [ ("steady", 0.0, crash_at); ("post-crash", crash_at, rejoin_at);
+          ("post-rejoin", rejoin_at, infinity) ]
+      in
+      List.iter
+        (fun (label, lo, hi) ->
+          let latencies =
+            List.filter_map
+              (fun (at, ms) -> if at >= lo && at < hi then Some ms else None)
+              r.R.decision_series
+          in
+          let s = Stats.Summary.create () in
+          List.iter (Stats.Summary.add s) latencies;
+          T.add_row table
+            [
+              name proto;
+              label;
+              T.cell_int (Stats.Summary.count s);
+              T.cell_ms (Stats.Summary.mean s);
+              T.cell_ms (Stats.Summary.percentile s 0.95);
+            ])
+        phases)
+    broadcast_protocols;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E8: read-only transactions *)
+
+let e8_readonly ?(quick = false) () =
+  let table =
+    T.create ~title:"E8 (Table 3): read-only transactions (80% of the mix)"
+      ~columns:
+        [ "protocol"; "ro committed"; "ro aborted"; "ro mean latency";
+          "update mean latency" ]
+  in
+  let txns = if quick then 60 else 300 in
+  let profile =
+    { Workload.default with Workload.n_keys = 500; ro_fraction = 0.8 }
+  in
+  List.iter
+    (fun proto ->
+      let r =
+        R.run (R.spec ~n_sites:5 ~profile ~txns_per_site:txns ~mpl:2 ~seed:9 proto)
+      in
+      let ro_aborts =
+        List.length
+          (List.filter
+             (fun tr ->
+               tr.Verify.History.read_only
+               &&
+               match tr.Verify.History.outcome with
+               | Some (Verify.History.Aborted _) -> true
+               | _ -> false)
+             (Verify.History.txns r.R.history))
+      in
+      T.add_row table
+        [
+          name proto;
+          T.cell_int (Stats.Summary.count r.R.ro_latency_ms);
+          T.cell_int ro_aborts;
+          T.cell_ms (Stats.Summary.mean r.R.ro_latency_ms);
+          T.cell_ms (Stats.Summary.mean r.R.latency_ms);
+        ])
+    protocols;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E9: the primitives themselves *)
+
+let measure_endpoint_primitive cls ~n ~count =
+  let engine = Sim.Engine.create ~seed:17 () in
+  let group =
+    Broadcast.Endpoint.create_group engine ~n ~latency:Net.Latency.lan ()
+  in
+  let eps = Broadcast.Endpoint.endpoints group in
+  let sends = Hashtbl.create 64 in
+  let s = Stats.Summary.create () in
+  Array.iter
+    (fun ep ->
+      Broadcast.Endpoint.set_deliver ep (fun d ->
+          if
+            not (Net.Site_id.equal (Broadcast.Endpoint.site ep)
+                   d.Broadcast.Endpoint.id.Broadcast.Msg_id.origin)
+          then begin
+            match Hashtbl.find_opt sends d.Broadcast.Endpoint.payload with
+            | Some sent_at ->
+              Stats.Summary.add s
+                (Sim.Time.to_ms (Sim.Time.diff (Sim.Engine.now engine) sent_at))
+            | None -> ()
+          end))
+    eps;
+  for i = 0 to count - 1 do
+    let origin = i mod n in
+    let payload = i in
+    ignore
+      (Sim.Engine.schedule engine ~delay:(Sim.Time.of_ms (2 * i)) (fun () ->
+           Hashtbl.replace sends payload (Sim.Engine.now engine);
+           ignore (Broadcast.Endpoint.broadcast eps.(origin) cls payload)))
+  done;
+  Sim.Engine.run_until engine (Sim.Time.of_sec (0.002 *. float_of_int count +. 2.0));
+  let stats = Broadcast.Endpoint.stats group in
+  let datagrams =
+    List.fold_left
+      (fun acc (c, k) -> if c = "hb" then acc else acc + k)
+      0
+      (Net.Net_stats.by_category stats)
+  in
+  (s, float_of_int datagrams /. float_of_int count)
+
+let measure_lamport ~n ~count =
+  let engine = Sim.Engine.create ~seed:17 () in
+  let group = Broadcast.Total_lamport.create_group engine ~n ~latency:Net.Latency.lan () in
+  let eps = Broadcast.Total_lamport.endpoints group in
+  let sends = Hashtbl.create 64 in
+  let s = Stats.Summary.create () in
+  Array.iter
+    (fun ep ->
+      Broadcast.Total_lamport.set_deliver ep
+        (fun ~origin ~global_seq:_ payload ->
+          if not (Net.Site_id.equal (Broadcast.Total_lamport.site ep) origin) then begin
+            match Hashtbl.find_opt sends payload with
+            | Some sent_at ->
+              Stats.Summary.add s
+                (Sim.Time.to_ms (Sim.Time.diff (Sim.Engine.now engine) sent_at))
+            | None -> ()
+          end))
+    eps;
+  for i = 0 to count - 1 do
+    let origin = i mod n in
+    ignore
+      (Sim.Engine.schedule engine ~delay:(Sim.Time.of_ms (2 * i)) (fun () ->
+           Hashtbl.replace sends i (Sim.Engine.now engine);
+           Broadcast.Total_lamport.broadcast eps.(origin) i))
+  done;
+  Sim.Engine.run_until engine (Sim.Time.of_sec (0.002 *. float_of_int count +. 2.0));
+  let datagrams = Net.Net_stats.datagrams (Broadcast.Total_lamport.stats group) in
+  (s, float_of_int datagrams /. float_of_int count)
+
+let e9_primitives ?(quick = false) () =
+  let table =
+    T.create ~title:"E9 (Table 4): broadcast primitive costs (5 sites)"
+      ~columns:
+        [ "primitive"; "mean delivery"; "p95 delivery"; "datagrams/bcast" ]
+  in
+  let count = if quick then 50 else 400 in
+  let n = 5 in
+  let row label (s, datagrams) =
+    T.add_row table
+      [
+        label;
+        T.cell_ms (Stats.Summary.mean s);
+        T.cell_ms (Stats.Summary.percentile s 0.95);
+        T.cell_float datagrams;
+      ]
+  in
+  row "reliable" (measure_endpoint_primitive `Reliable ~n ~count);
+  row "causal" (measure_endpoint_primitive `Causal ~n ~count);
+  row "total (sequencer)" (measure_endpoint_primitive `Total ~n ~count);
+  row "total (lamport/ISIS)" (measure_lamport ~n ~count);
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E10: streamed vs batched write dissemination (atomic protocol) *)
+
+let e10_batched_writes ?(quick = false) () =
+  let table =
+    T.create
+      ~title:
+        "E10 (ablation): atomic protocol, streamed writes vs batched commit request"
+      ~columns:
+        [ "variant"; "contention"; "datagrams/txn"; "mean latency"; "abort rate" ]
+  in
+  let txns = if quick then 60 else 250 in
+  let profiles =
+    [ ("low", { costs_profile with Workload.n_keys = 20_000 });
+      ("high",
+       { costs_profile with Workload.n_keys = 150; writes_per_txn = 3 }) ]
+  in
+  List.iter
+    (fun (contention, profile) ->
+      List.iter
+        (fun (label, batch) ->
+          let config =
+            { (Repdb.Config.default ~n_sites:5) with
+              Repdb.Config.atomic_batch_writes = batch }
+          in
+          let r =
+            R.run
+              (R.spec ~n_sites:5 ~config ~profile ~txns_per_site:txns ~mpl:2
+                 ~seed:4 Repdb.Protocol.Atomic)
+          in
+          T.add_row table
+            [
+              label;
+              contention;
+              T.cell_float
+                (float_of_int (txn_datagrams r) /. float_of_int r.R.committed);
+              T.cell_ms (Stats.Summary.mean r.R.latency_ms);
+              T.cell_pct (R.abort_rate r);
+            ])
+        [ ("streamed (paper sec.5)", false); ("batched (AAES97)", true) ])
+    profiles;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E11: flooding (gossip relay) cost *)
+
+let e11_flooding ?(quick = false) () =
+  let table =
+    T.create ~title:"E11 (ablation): gossip-relay flooding cost (5 sites)"
+      ~columns:[ "protocol"; "flood"; "datagrams/txn"; "mean latency" ]
+  in
+  let txns = if quick then 40 else 150 in
+  List.iter
+    (fun proto ->
+      List.iter
+        (fun flood ->
+          let config =
+            { (Repdb.Config.default ~n_sites:5) with Repdb.Config.flood } in
+          let r =
+            R.run
+              (R.spec ~n_sites:5 ~config ~profile:costs_profile
+                 ~txns_per_site:txns ~mpl:1 ~seed:8 proto)
+          in
+          T.add_row table
+            [
+              name proto;
+              string_of_bool flood;
+              T.cell_float
+                (float_of_int (txn_datagrams r) /. float_of_int r.R.committed);
+              T.cell_ms (Stats.Summary.mean r.R.latency_ms);
+            ])
+        [ false; true ])
+    broadcast_protocols;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E12: lossy links *)
+
+let e12_lossy_links ?(quick = false) () =
+  let table =
+    T.create
+      ~title:"E12 (ablation): datagram loss with ARQ retransmission (5 sites)"
+      ~columns:
+        [ "protocol"; "loss"; "mean latency"; "p95 latency"; "datagrams/txn" ]
+  in
+  let txns = if quick then 40 else 150 in
+  let rates = if quick then [ 0.0; 0.05 ] else [ 0.0; 0.01; 0.05; 0.15 ] in
+  List.iter
+    (fun rate ->
+      List.iter
+        (fun proto ->
+          let loss =
+            if rate = 0.0 then None
+            else
+              Some
+                { Net.Network.drop_probability = rate; rto = Sim.Time.of_ms 20 }
+          in
+          let config = { (Repdb.Config.default ~n_sites:5) with Repdb.Config.loss } in
+          let r =
+            R.run
+              (R.spec ~n_sites:5 ~config ~profile:costs_profile
+                 ~txns_per_site:txns ~mpl:1 ~seed:6 proto)
+          in
+          T.add_row table
+            [
+              name proto;
+              T.cell_pct rate;
+              T.cell_ms (Stats.Summary.mean r.R.latency_ms);
+              T.cell_ms (Stats.Summary.percentile r.R.latency_ms 0.95);
+              T.cell_float
+                (float_of_int (txn_datagrams r) /. float_of_int r.R.committed);
+            ])
+        protocols)
+    rates;
+  table
+
+let all ?(quick = false) () =
+  [
+    ("E1", e1_messages ~quick ());
+    ("E2", e2_latency_sites ~quick ());
+    ("E3", e3_implicit_ack ~quick ());
+    ("E4", e4_aborts ~quick ());
+    ("E5", e5_throughput ~quick ());
+    ("E6", e6_deadlocks ~quick ());
+    ("E7", e7_failover ~quick ());
+    ("E8", e8_readonly ~quick ());
+    ("E9", e9_primitives ~quick ());
+    ("E10", e10_batched_writes ~quick ());
+    ("E11", e11_flooding ~quick ());
+    ("E12", e12_lossy_links ~quick ());
+  ]

@@ -1,0 +1,57 @@
+(** The paper's evaluation, reproduced as tables.
+
+    One function per experiment in DESIGN.md's index (E1–E12); each returns
+    the rendered table(s) that `bench/main.exe` prints and EXPERIMENTS.md
+    records. [quick] shrinks the workloads for use inside the test suite;
+    the default sizes are what the committed EXPERIMENTS.md numbers come
+    from. Everything is seeded and deterministic. *)
+
+val e1_messages : ?quick:bool -> unit -> Stats.Table.t
+(** Message complexity per committed update transaction, measured against
+    the closed-form counts: the reliable protocol pays a vote round, the
+    causal protocol none, the atomic protocol one ordering message. *)
+
+val e2_latency_sites : ?quick:bool -> unit -> Stats.Table.t
+(** Commit latency as the number of sites grows. *)
+
+val e3_implicit_ack : ?quick:bool -> unit -> Stats.Table.t
+(** The causal protocol's dependence on background traffic, with and
+    without the idle-acknowledgment fallback. *)
+
+val e4_aborts : ?quick:bool -> unit -> Stats.Table.t
+(** Abort rate versus access skew (contention), including the causal
+    protocol's early concurrent-write abort variant. *)
+
+val e5_throughput : ?quick:bool -> unit -> Stats.Table.t
+(** Committed throughput versus multiprogramming level. *)
+
+val e6_deadlocks : ?quick:bool -> unit -> Stats.Table.t
+(** Deadlock prevention: cycles broken and worst-case latency under a
+    cross-conflict workload. *)
+
+val e7_failover : ?quick:bool -> unit -> Stats.Table.t
+(** Availability through a crash and a rejoin: per-phase commit counts and
+    latency for the broadcast protocols. *)
+
+val e8_readonly : ?quick:bool -> unit -> Stats.Table.t
+(** Read-only transactions: local latency, zero aborts, zero messages. *)
+
+val e9_primitives : ?quick:bool -> unit -> Stats.Table.t
+(** The primitives themselves: delivery latency and datagrams per broadcast
+    for reliable, causal, sequencer-total and Lamport-total. *)
+
+val e10_batched_writes : ?quick:bool -> unit -> Stats.Table.t
+(** Ablation: the atomic protocol with streamed write operations (this
+    paper, section 5) versus the write set deferred into the commit request
+    (the companion work's style) — messages, latency, abort rate. *)
+
+val e11_flooding : ?quick:bool -> unit -> Stats.Table.t
+(** Ablation: datagram cost of gossip-relay (flooding) reliable broadcast
+    versus plain fan-out, per protocol. *)
+
+val e12_lossy_links : ?quick:bool -> unit -> Stats.Table.t
+(** Substrate sensitivity: datagram loss (link-level ARQ retransmission)
+    versus commit latency and message cost, per protocol. *)
+
+val all : ?quick:bool -> unit -> (string * Stats.Table.t) list
+(** Every experiment, keyed by its DESIGN.md identifier, in order. *)

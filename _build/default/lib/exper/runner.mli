@@ -1,0 +1,74 @@
+(** Closed-loop experiment driver.
+
+    Runs one protocol under one workload on the simulator: [mpl] client
+    loops per site, each submitting its next transaction when the previous
+    one decides, until the site's quota is reached; then drains. Optional
+    Poisson background traffic (disjoint keys, so it never conflicts)
+    models "other sites broadcast fairly frequently" for the causal
+    protocol's implicit acknowledgments; optional crash/recover events
+    drive the availability experiment. Fully deterministic per seed. *)
+
+type event = Crash of Net.Site_id.t | Recover of Net.Site_id.t
+
+type spec = {
+  protocol : Repdb.Protocol.id;
+  config : Repdb.Config.t;
+  profile : Workload.profile;
+  txns_per_site : int;
+  mpl : int;  (** concurrent clients per site *)
+  seed : int;
+  background_rate : float option;  (** background txns/sec per site *)
+  events : (Sim.Time.t * event) list;  (** failure schedule *)
+  drain_limit : Sim.Time.t;  (** give up waiting for stragglers after this *)
+}
+
+val spec :
+  ?config:Repdb.Config.t ->
+  ?profile:Workload.profile ->
+  ?txns_per_site:int ->
+  ?mpl:int ->
+  ?seed:int ->
+  ?background_rate:float ->
+  ?events:(Sim.Time.t * event) list ->
+  ?drain_limit:Sim.Time.t ->
+  n_sites:int ->
+  Repdb.Protocol.id ->
+  spec
+(** Defaults: the {!Repdb.Config.default} for [n_sites], default workload
+    profile, 200 transactions per site, mpl 2, seed 42, no background, no
+    events, 30s drain. *)
+
+type result = {
+  protocol_name : string;
+  committed : int;
+  aborted : int;
+  undecided : int;
+  aborts_by_reason : (Verify.History.abort_reason * int) list;
+  latency_ms : Stats.Summary.t;  (** committed update transactions *)
+  ro_latency_ms : Stats.Summary.t;  (** committed read-only transactions *)
+  elapsed_sec : float;  (** first submission to last decision *)
+  throughput_tps : float;
+  datagrams : int;
+  broadcasts : int;
+  per_category : (string * int) list;
+  deadlocks : int;  (** baseline's detector count; 0 for the others *)
+  decision_series : (float * float) list;
+      (** per committed update transaction: (decision time in seconds,
+          latency in ms), in decision order — the availability experiment
+          buckets these around failure events *)
+  background_committed : int;
+  history : Verify.History.t;
+  stores : (Net.Site_id.t * Db.Version_store.t) list;
+}
+
+val run : spec -> result
+
+(** {2 Checks over results} *)
+
+val one_copy_serializable : result -> bool
+val converged : result -> bool
+(** Final replica states equal (all sites if no failure events, else the
+    sites that were up at the end). *)
+
+val abort_rate : result -> float
+(** aborted / decided, foreground transactions only. *)

@@ -1,0 +1,1 @@
+lib/net/net_stats.ml: Format Hashtbl List String

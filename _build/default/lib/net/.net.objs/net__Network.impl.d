@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Latency List Net_stats Sim Site_id

@@ -1,0 +1,1 @@
+lib/net/network.mli: Latency Net_stats Sim Site_id

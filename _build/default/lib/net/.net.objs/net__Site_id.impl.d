@@ -1,0 +1,1 @@
+lib/net/site_id.ml: Format Fun Hashtbl Int List Map Set

@@ -1,0 +1,1 @@
+lib/net/site_id.mli: Format Map Set

@@ -1,0 +1,27 @@
+type t =
+  | Constant of Sim.Time.t
+  | Uniform of Sim.Time.t * Sim.Time.t
+  | Exp_shifted of Sim.Time.t * Sim.Time.t
+
+let sample t rng =
+  match t with
+  | Constant d -> d
+  | Uniform (lo, hi) ->
+    if Sim.Time.( < ) hi lo then invalid_arg "Latency.sample: hi < lo";
+    Sim.Time.of_us (Sim.Rng.uniform_int rng ~lo:(Sim.Time.to_us lo) ~hi:(Sim.Time.to_us hi))
+  | Exp_shifted (base, mean_extra) ->
+    let extra = Sim.Rng.exponential rng ~mean:(float_of_int (Sim.Time.to_us mean_extra)) in
+    Sim.Time.add base (Sim.Time.of_us (int_of_float extra))
+
+let mean = function
+  | Constant d -> d
+  | Uniform (lo, hi) -> Sim.Time.of_us ((Sim.Time.to_us lo + Sim.Time.to_us hi) / 2)
+  | Exp_shifted (base, mean_extra) -> Sim.Time.add base mean_extra
+
+let lan = Exp_shifted (Sim.Time.of_us 1_000, Sim.Time.of_us 500)
+
+let pp ppf = function
+  | Constant d -> Format.fprintf ppf "constant(%a)" Sim.Time.pp d
+  | Uniform (lo, hi) -> Format.fprintf ppf "uniform(%a,%a)" Sim.Time.pp lo Sim.Time.pp hi
+  | Exp_shifted (base, mean_extra) ->
+    Format.fprintf ppf "exp-shifted(%a+~%a)" Sim.Time.pp base Sim.Time.pp mean_extra

@@ -1,0 +1,22 @@
+(** Message latency models.
+
+    Each model describes the one-way delay of a datagram. Sampling is
+    deterministic given the RNG stream. *)
+
+type t =
+  | Constant of Sim.Time.t
+  | Uniform of Sim.Time.t * Sim.Time.t
+      (** inclusive range [lo, hi]; raises on [hi < lo] when sampled *)
+  | Exp_shifted of Sim.Time.t * Sim.Time.t
+      (** [Exp_shifted (base, mean_extra)]: [base] plus an exponential tail
+          with the given mean — a common fit for LAN latency. *)
+
+val sample : t -> Sim.Rng.t -> Sim.Time.t
+
+val mean : t -> Sim.Time.t
+(** Expected value, for analytic comparison in the benches. *)
+
+val lan : t
+(** A default 1998-flavour LAN: 1ms base + 0.5ms exponential tail. *)
+
+val pp : Format.formatter -> t -> unit

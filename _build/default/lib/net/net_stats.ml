@@ -1,0 +1,49 @@
+type t = {
+  mutable datagrams : int;
+  mutable broadcasts : int;
+  mutable drops : int;
+  per_category : (string, int ref) Hashtbl.t;
+}
+
+let create () =
+  { datagrams = 0; broadcasts = 0; drops = 0; per_category = Hashtbl.create 16 }
+
+let bump t ~category n =
+  match Hashtbl.find_opt t.per_category category with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add t.per_category category (ref n)
+
+let record_send t ~category =
+  t.datagrams <- t.datagrams + 1;
+  bump t ~category 1
+
+let record_broadcast t ~category ~receivers =
+  t.broadcasts <- t.broadcasts + 1;
+  t.datagrams <- t.datagrams + receivers;
+  bump t ~category receivers
+
+let record_drop t = t.drops <- t.drops + 1
+
+let datagrams t = t.datagrams
+let broadcasts t = t.broadcasts
+let drops t = t.drops
+
+let by_category t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.per_category []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let datagrams_for t ~category =
+  match Hashtbl.find_opt t.per_category category with
+  | Some r -> !r
+  | None -> 0
+
+let reset t =
+  t.datagrams <- 0;
+  t.broadcasts <- 0;
+  t.drops <- 0;
+  Hashtbl.reset t.per_category
+
+let pp ppf t =
+  Format.fprintf ppf "datagrams=%d broadcasts=%d drops=%d" t.datagrams
+    t.broadcasts t.drops;
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%d" k v) (by_category t)

@@ -1,0 +1,33 @@
+(** Message accounting for a network.
+
+    Two units are tracked because the paper's cost model depends on the
+    broadcast hardware: [datagrams] counts point-to-point messages (a
+    broadcast to [k] receivers costs [k]), while [broadcasts] counts
+    broadcast operations (a single-wire medium carries one per operation).
+    Counts are additionally broken down by the classifier string supplied at
+    network creation (e.g. ["write"], ["vote"], ["ack"]). *)
+
+type t
+
+val create : unit -> t
+
+val record_send : t -> category:string -> unit
+(** One point-to-point datagram. *)
+
+val record_broadcast : t -> category:string -> receivers:int -> unit
+(** One broadcast operation fanned out to [receivers] datagrams. *)
+
+val record_drop : t -> unit
+
+val datagrams : t -> int
+val broadcasts : t -> int
+val drops : t -> int
+
+val by_category : t -> (string * int) list
+(** Datagram counts per category, sorted by category name. *)
+
+val datagrams_for : t -> category:string -> int
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,154 @@
+type loss = { drop_probability : float; rto : Sim.Time.t }
+
+type 'm t = {
+  engine : Sim.Engine.t;
+  n : int;
+  latency : Latency.t;
+  classify : 'm -> string;
+  loopback : Sim.Time.t;
+  trace : Sim.Trace.t option;
+  loss : loss option;
+  rng : Sim.Rng.t;
+  handlers : (src:Site_id.t -> 'm -> unit) option array;
+  up : bool array;
+  (* FIFO guarantee: next admissible delivery time per ordered pair,
+     indexed [src * n + dst]. *)
+  link_clock : Sim.Time.t array;
+  mutable partition_group : Site_id.Set.t option;
+  stats : Net_stats.t;
+}
+
+let create engine ~n ~latency ?(classify = fun _ -> "msg")
+    ?(loopback = Sim.Time.of_us 10) ?trace ?loss () =
+  if n <= 0 then invalid_arg "Network.create: n <= 0";
+  (match loss with
+  | Some { drop_probability = p; _ } when p < 0.0 || p >= 1.0 ->
+    invalid_arg "Network.create: drop_probability must be in [0, 1)"
+  | Some _ | None -> ());
+  {
+    engine;
+    n;
+    latency;
+    classify;
+    loopback;
+    trace;
+    loss;
+    rng = Sim.Rng.split (Sim.Engine.rng engine);
+    handlers = Array.make n None;
+    up = Array.make n true;
+    link_clock = Array.make (n * n) Sim.Time.zero;
+    partition_group = None;
+    stats = Net_stats.create ();
+  }
+
+let engine t = t.engine
+let n_sites t = t.n
+let sites t = Site_id.all ~n:t.n
+let stats t = t.stats
+
+let set_handler t site handler =
+  if site < 0 || site >= t.n then invalid_arg "Network.set_handler: bad site";
+  t.handlers.(site) <- Some handler
+
+let is_up t site = t.up.(site)
+
+let same_side t a b =
+  match t.partition_group with
+  | None -> true
+  | Some group -> Site_id.Set.mem a group = Site_id.Set.mem b group
+
+let reachable t a b = t.up.(a) && t.up.(b) && same_side t a b
+
+let record t ~src ~dst event msg =
+  match t.trace with
+  | Some trace ->
+    Sim.Trace.logf trace ~time:(Sim.Engine.now t.engine)
+      ~source:(Site_id.to_string src) "%s %s -> %a" event (t.classify msg)
+      Site_id.pp dst
+  | None -> ()
+
+(* Schedule the delivery of one datagram, maintaining per-link FIFO order:
+   the delivery time is the max of (now + sampled latency) and the link's
+   previous delivery time. Datagrams already in flight survive a later crash
+   of their sender (they left the source when sent); they are dropped only
+   if the destination is down or the pair is partitioned at delivery time.
+   Together with the atomic fan-out in [send_all], this gives physical
+   broadcasts an all-or-nothing property: either every up receiver gets a
+   copy or (sender down at send time) none does. *)
+let deliver t ~src ~dst msg =
+  let delay =
+    if Site_id.equal src dst then t.loopback else Latency.sample t.latency t.rng
+  in
+  (* Link-level loss with ARQ: each lost attempt adds the retransmission
+     timeout plus a fresh latency sample before the copy that survives. *)
+  let delay =
+    match t.loss with
+    | Some { drop_probability; rto } when not (Site_id.equal src dst) ->
+      let rec attempts acc =
+        if Sim.Rng.float t.rng 1.0 < drop_probability then begin
+          Net_stats.record_send t.stats ~category:(t.classify msg);
+          Net_stats.record_drop t.stats;
+          record t ~src ~dst "lost(retransmit)" msg;
+          attempts (Sim.Time.add acc (Sim.Time.add rto (Latency.sample t.latency t.rng)))
+        end
+        else acc
+      in
+      attempts delay
+    | Some _ | None -> delay
+  in
+  let now = Sim.Engine.now t.engine in
+  let earliest = Sim.Time.add now delay in
+  let slot = (src * t.n) + dst in
+  let at = Sim.Time.max earliest t.link_clock.(slot) in
+  t.link_clock.(slot) <- at;
+  let callback () =
+    if t.up.(dst) && same_side t src dst then begin
+      match t.handlers.(dst) with
+      | Some handler ->
+        record t ~src ~dst "deliver" msg;
+        handler ~src msg
+      | None ->
+        record t ~src ~dst "drop(nohandler)" msg;
+        Net_stats.record_drop t.stats
+    end
+    else begin
+      record t ~src ~dst "drop" msg;
+      Net_stats.record_drop t.stats
+    end
+  in
+  ignore (Sim.Engine.schedule_at t.engine ~time:at callback)
+
+let send t ~src ~dst msg =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Network.send: bad site";
+  if not (reachable t src dst) then begin
+    record t ~src ~dst "drop(send)" msg;
+    Net_stats.record_drop t.stats
+  end
+  else begin
+    record t ~src ~dst "send" msg;
+    Net_stats.record_send t.stats ~category:(t.classify msg);
+    deliver t ~src ~dst msg
+  end
+
+let send_all t ~src ?(include_self = true) msg =
+  if src < 0 || src >= t.n then invalid_arg "Network.send_all: bad site";
+  if not t.up.(src) then Net_stats.record_drop t.stats
+  else begin
+    let targets =
+      List.filter
+        (fun dst -> include_self || not (Site_id.equal dst src))
+        (sites t)
+    in
+    Net_stats.record_broadcast t.stats ~category:(t.classify msg)
+      ~receivers:(List.length targets);
+    List.iter (fun dst -> deliver t ~src ~dst msg) targets
+  end
+
+let crash t site = t.up.(site) <- false
+let recover t site = t.up.(site) <- true
+
+let partition t group =
+  t.partition_group <- Some (Site_id.Set.of_list group)
+
+let heal t = t.partition_group <- None

@@ -1,0 +1,86 @@
+(** Simulated message-passing network with FIFO links.
+
+    The paper assumes FIFO communication links ("if a process ... broadcasts
+    a message m1 before message m2 then all processes receive m1 before
+    m2"). Links here are FIFO per ordered pair of sites even under random
+    latencies: a message is never delivered before one sent earlier on the
+    same link.
+
+    Failure model: crash-stop with recovery. A crashed site neither sends
+    nor receives, but datagrams already in flight when their sender crashes
+    still arrive (they left the source at send time); a datagram is dropped
+    only when its destination is down, or the pair is partitioned, at
+    delivery time. Since {!send_all} fans out atomically at send time, a
+    physical broadcast is all-or-nothing with respect to sender crashes.
+
+    Deliveries are engine events, so a run is deterministic given the seed. *)
+
+type 'm t
+
+type loss = {
+  drop_probability : float;  (** per-datagram, in [\[0, 1)] *)
+  rto : Sim.Time.t;
+      (** retransmission timeout of the link-level ARQ: a lost datagram is
+          re-sent until it gets through, each attempt costing [rto] plus a
+          fresh latency sample, and — per-link FIFO — delaying everything
+          queued behind it (head-of-line blocking, as over TCP). Lost
+          attempts are counted as both datagrams and drops. *)
+}
+
+val create :
+  Sim.Engine.t ->
+  n:int ->
+  latency:Latency.t ->
+  ?classify:('m -> string) ->
+  ?loopback:Sim.Time.t ->
+  ?trace:Sim.Trace.t ->
+  ?loss:loss ->
+  unit ->
+  'm t
+(** [classify] labels messages for per-category accounting (default: one
+    ["msg"] bucket). [loopback] is the self-delivery delay (default 10us —
+    strictly positive so self-delivery is asynchronous like everything
+    else). [trace], when given, records every send, delivery and drop (with
+    the classifier's label) into the bounded ring — the debugging hook for
+    post-mortems on misbehaving runs. *)
+
+val engine : 'm t -> Sim.Engine.t
+val n_sites : 'm t -> int
+val sites : 'm t -> Site_id.t list
+val stats : 'm t -> Net_stats.t
+
+val set_handler : 'm t -> Site_id.t -> (src:Site_id.t -> 'm -> unit) -> unit
+(** Install the message handler for a site. Must be called once per site
+    before any traffic reaches it. *)
+
+val send : 'm t -> src:Site_id.t -> dst:Site_id.t -> 'm -> unit
+(** Point-to-point send. Counted as one datagram. Silently dropped (and
+    counted as a drop) if either endpoint is down or the pair is
+    partitioned. *)
+
+val send_all : 'm t -> src:Site_id.t -> ?include_self:bool -> 'm -> unit
+(** Physical broadcast: one broadcast operation fanned out to every other
+    site (and to [src] itself when [include_self], the default). Counted as
+    one broadcast of [k] datagrams where [k] is the number of targets. *)
+
+(** {2 Failures} *)
+
+val crash : 'm t -> Site_id.t -> unit
+(** Take a site down. In-flight messages to it are dropped at delivery
+    time. Idempotent. *)
+
+val recover : 'm t -> Site_id.t -> unit
+(** Bring a site back up. The site's protocol layer is responsible for
+    state transfer. Idempotent. *)
+
+val is_up : 'm t -> Site_id.t -> bool
+
+val partition : 'm t -> Site_id.t list -> unit
+(** [partition net group] cuts every link between [group] and its
+    complement, both directions. Replaces any previous partition. *)
+
+val heal : 'm t -> unit
+(** Remove the partition. *)
+
+val reachable : 'm t -> Site_id.t -> Site_id.t -> bool
+(** Both endpoints up and not separated by the partition. *)

@@ -1,0 +1,12 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let hash = Hashtbl.hash
+let pp ppf t = Format.fprintf ppf "S%d" t
+let to_string t = "S" ^ string_of_int t
+
+let all ~n = List.init n Fun.id
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

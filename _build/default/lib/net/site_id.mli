@@ -1,0 +1,19 @@
+(** Database site identifiers.
+
+    Sites are numbered [0 .. n-1] within a simulation. A thin abstraction
+    over [int] that provides comparison, printing and collections, so call
+    sites read as what they are. *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val all : n:int -> t list
+(** [all ~n] is [\[0; ...; n-1\]]. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

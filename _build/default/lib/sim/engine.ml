@@ -1,0 +1,54 @@
+type handle = Event_queue.handle
+
+type t = {
+  queue : (unit -> unit) Event_queue.t;
+  mutable clock : Time.t;
+  root_rng : Rng.t;
+}
+
+exception Stop
+
+let create ?(seed = 42) () =
+  { queue = Event_queue.create (); clock = Time.zero; root_rng = Rng.create ~seed }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let schedule_at t ~time callback =
+  if Time.( < ) time t.clock then invalid_arg "Engine.schedule_at: in the past";
+  Event_queue.push t.queue ~time callback
+
+let schedule t ~delay callback =
+  schedule_at t ~time:(Time.add t.clock delay) callback
+
+let cancel t handle = Event_queue.cancel t.queue handle
+
+let pending t = Event_queue.size t.queue
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, callback) ->
+    t.clock <- time;
+    callback ();
+    true
+
+let run t ?(max_events = max_int) () =
+  let rec loop remaining =
+    if remaining > 0 then begin
+      match step t with
+      | true -> loop (remaining - 1)
+      | false -> ()
+    end
+  in
+  try loop max_events with Stop -> ()
+
+let run_until t deadline =
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | Some time when Time.( <= ) time deadline ->
+      if step t then loop ()
+    | Some _ | None -> ()
+  in
+  (try loop () with Stop -> ());
+  if Time.( < ) t.clock deadline then t.clock <- deadline

@@ -1,0 +1,110 @@
+type 'a entry = {
+  time : Time.t;
+  seq : int;
+  value : 'a;
+  mutable cancelled : bool;
+}
+
+type handle = H : 'a entry -> handle
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  (* [heap] is a binary min-heap in [heap.(0 .. len - 1)]. *)
+  mutable len : int;
+  mutable next_seq : int;
+  mutable live : int;
+  dummy : 'a entry option;
+}
+
+let create () = { heap = [||]; len = 0; next_seq = 0; live = 0; dummy = None }
+
+let is_empty q = q.live = 0
+let size q = q.live
+
+let entry_lt a b =
+  a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap q i j =
+  let tmp = q.heap.(i) in
+  q.heap.(i) <- q.heap.(j);
+  q.heap.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt q.heap.(i) q.heap.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.len && entry_lt q.heap.(l) q.heap.(!smallest) then smallest := l;
+  if r < q.len && entry_lt q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let grow q entry =
+  let capacity = Array.length q.heap in
+  if q.len = capacity then begin
+    let new_capacity = Stdlib.max 16 (2 * capacity) in
+    let heap = Array.make new_capacity entry in
+    Array.blit q.heap 0 heap 0 q.len;
+    q.heap <- heap
+  end
+
+let push q ~time value =
+  let entry = { time; seq = q.next_seq; value; cancelled = false } in
+  q.next_seq <- q.next_seq + 1;
+  grow q entry;
+  q.heap.(q.len) <- entry;
+  q.len <- q.len + 1;
+  q.live <- q.live + 1;
+  sift_up q (q.len - 1);
+  H entry
+
+let cancel q (H entry) =
+  if not entry.cancelled then begin
+    entry.cancelled <- true;
+    (* The entry may belong to a different queue; only decrement if it is
+       plausibly ours. Sharing handles across queues is a programming error
+       we tolerate by never going negative. *)
+    if q.live > 0 then q.live <- q.live - 1
+  end
+
+let pop_entry q =
+  if q.len = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.len <- q.len - 1;
+    if q.len > 0 then begin
+      q.heap.(0) <- q.heap.(q.len);
+      sift_down q 0
+    end;
+    Some top
+  end
+
+let rec pop q =
+  match pop_entry q with
+  | None -> None
+  | Some entry ->
+    if entry.cancelled then pop q
+    else begin
+      q.live <- q.live - 1;
+      Some (entry.time, entry.value)
+    end
+
+let rec peek_time q =
+  if q.len = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    if top.cancelled then begin
+      ignore (pop_entry q);
+      peek_time q
+    end
+    else Some top.time
+  end

@@ -1,0 +1,32 @@
+(** Priority queue of timestamped events.
+
+    A binary min-heap keyed by [(time, sequence-number)]. The sequence number
+    is assigned at insertion, so events scheduled for the same instant pop in
+    insertion order; this tie-break is what makes the whole simulation
+    deterministic. Events may be cancelled in O(1) (lazily: cancelled entries
+    are dropped when popped). *)
+
+type 'a t
+
+type handle
+(** Identifies a scheduled event for cancellation. *)
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val push : 'a t -> time:Time.t -> 'a -> handle
+(** Schedule an event. *)
+
+val cancel : 'a t -> handle -> unit
+(** Cancel a scheduled event. Cancelling an already-popped or
+    already-cancelled event is a no-op. *)
+
+val pop : 'a t -> (Time.t * 'a) option
+(** Remove and return the earliest live event, skipping cancelled ones. *)
+
+val peek_time : 'a t -> Time.t option
+(** Timestamp of the earliest live event without removing it. *)

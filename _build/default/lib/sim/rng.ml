@@ -1,0 +1,81 @@
+type t = { mutable state : int64 }
+
+(* splitmix64 (Steele, Lea, Flood 2014): tiny, fast, and passes BigCrush for
+   our purposes; most importantly it is trivially splittable, which keeps
+   independent simulation components on independent streams. *)
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix64 (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = bits64 t in
+  { state = s }
+
+let copy t = { state = t.state }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* Rejection-free modulo is fine here: bound is tiny relative to 2^62 so
+     bias is negligible for simulation use. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  v mod bound
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let uniform_int t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.uniform_int: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Rng.exponential: mean <= 0";
+  let u = float t 1.0 in
+  (* Guard against log 0. *)
+  let u = if u <= 0.0 then 1e-300 else u in
+  -.mean *. log u
+
+module Zipf = struct
+  type gen = { cdf : float array }
+
+  let create ~n ~theta =
+    if n <= 0 then invalid_arg "Zipf.create: n <= 0";
+    let cdf = Array.make n 0.0 in
+    let total = ref 0.0 in
+    for k = 0 to n - 1 do
+      total := !total +. (1.0 /. Float.pow (float_of_int (k + 1)) theta);
+      cdf.(k) <- !total
+    done;
+    for k = 0 to n - 1 do
+      cdf.(k) <- cdf.(k) /. !total
+    done;
+    { cdf }
+
+  let draw gen t =
+    let u = float t 1.0 in
+    (* Binary search for the first index with cdf >= u. *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if gen.cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+      end
+    in
+    search 0 (Array.length gen.cdf - 1)
+end
+
+let zipf t ~n ~theta =
+  let gen = Zipf.create ~n ~theta in
+  Zipf.draw gen t

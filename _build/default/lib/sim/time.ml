@@ -1,0 +1,29 @@
+type t = int
+
+let zero = 0
+
+let of_us n =
+  if n < 0 then invalid_arg "Time.of_us: negative" else n
+
+let of_ms n = of_us (n * 1_000)
+
+let of_sec s =
+  if s < 0.0 then invalid_arg "Time.of_sec: negative"
+  else int_of_float (Float.round (s *. 1e6))
+
+let to_us t = t
+let to_ms t = float_of_int t /. 1e3
+let to_sec t = float_of_int t /. 1e6
+
+let add a b = a + b
+
+let diff a b =
+  if b > a then invalid_arg "Time.diff: negative result" else a - b
+
+let compare = Int.compare
+let ( <= ) (a : t) (b : t) = Stdlib.( <= ) a b
+let ( < ) (a : t) (b : t) = Stdlib.( < ) a b
+let min = Stdlib.min
+let max = Stdlib.max
+
+let pp ppf t = Format.fprintf ppf "%.6fs" (to_sec t)

@@ -1,0 +1,37 @@
+(** Simulated time.
+
+    Time is a count of microseconds since the start of the simulation. Using
+    an integer keeps event ordering exact and the simulation deterministic
+    across platforms. *)
+
+type t = int
+(** Microseconds since simulation start. Always non-negative. *)
+
+val zero : t
+
+val of_us : int -> t
+(** [of_us n] is [n] microseconds. Raises [Invalid_argument] if negative. *)
+
+val of_ms : int -> t
+(** [of_ms n] is [n] milliseconds. *)
+
+val of_sec : float -> t
+(** [of_sec s] converts (possibly fractional) seconds, rounding to the
+    nearest microsecond. Raises [Invalid_argument] if negative. *)
+
+val to_us : t -> int
+val to_ms : t -> float
+val to_sec : t -> float
+
+val add : t -> t -> t
+val diff : t -> t -> t
+(** [diff a b] is [a - b]. Raises [Invalid_argument] if [b > a]. *)
+
+val compare : t -> t -> int
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Renders as seconds with microsecond precision, e.g. ["1.250000s"]. *)

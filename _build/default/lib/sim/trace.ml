@@ -1,0 +1,49 @@
+type entry = { time : Time.t; source : string; message : string }
+
+type t = {
+  ring : entry option array;
+  mutable next : int;
+  mutable count : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity <= 0";
+  { ring = Array.make capacity None; next = 0; count = 0 }
+
+let log t ~time ~source message =
+  let capacity = Array.length t.ring in
+  t.ring.(t.next) <- Some { time; source; message };
+  t.next <- (t.next + 1) mod capacity;
+  t.count <- t.count + 1
+
+let logf t ~time ~source fmt =
+  Format.kasprintf (fun message -> log t ~time ~source message) fmt
+
+let length t = Stdlib.min t.count (Array.length t.ring)
+
+let total_logged t = t.count
+
+let entries t =
+  let capacity = Array.length t.ring in
+  let n = length t in
+  let start = if t.count <= capacity then 0 else t.next in
+  let rec collect i acc =
+    if i < 0 then acc
+    else begin
+      match t.ring.((start + i) mod capacity) with
+      | Some e -> collect (i - 1) (e :: acc)
+      | None -> collect (i - 1) acc
+    end
+  in
+  collect (n - 1) []
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.next <- 0;
+  t.count <- 0
+
+let pp ppf t =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "[%a] %-10s %s@." Time.pp e.time e.source e.message)
+    (entries t)

@@ -1,0 +1,34 @@
+(** Bounded in-memory trace of simulation events.
+
+    Components append human-readable entries; tests and the CLI dump them
+    when a run misbehaves. Keeping the trace bounded (a ring) lets long
+    benchmark runs trace cheaply. *)
+
+type t
+
+type entry = {
+  time : Time.t;
+  source : string;  (** component that logged the entry, e.g. ["site-3"] *)
+  message : string;
+}
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 4096 entries. Older entries are discarded. *)
+
+val log : t -> time:Time.t -> source:string -> string -> unit
+
+val logf :
+  t -> time:Time.t -> source:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val length : t -> int
+(** Number of retained entries. *)
+
+val total_logged : t -> int
+(** Number of entries ever logged, including discarded ones. *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+(** Sample summaries: count, mean, and percentiles. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+val mean : t -> float
+(** 0 if empty. *)
+
+val min : t -> float
+val max : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t 0.95] — nearest-rank on the sorted samples. 0 if empty.
+    Raises [Invalid_argument] outside [\[0, 1\]]. *)
+
+val median : t -> float
+
+val to_list : t -> float list
+(** Samples in insertion order. *)
+
+val pp : Format.formatter -> t -> unit
+(** ["n=… mean=… p50=… p95=… max=…"]. *)

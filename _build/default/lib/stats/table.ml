@@ -1,0 +1,60 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: width mismatch";
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i header ->
+        List.fold_left
+          (fun w row -> Stdlib.max w (String.length (List.nth row i)))
+          (String.length header) rows)
+      t.columns
+  in
+  let pad width s = s ^ String.make (width - String.length s) ' ' in
+  let line cells =
+    "| "
+    ^ String.concat " | " (List.map2 pad widths cells)
+    ^ " |"
+  in
+  let rule =
+    "+"
+    ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (t.title ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.add_string buf (line t.columns ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (line row ^ "\n")) rows;
+  Buffer.add_string buf rule;
+  Buffer.contents buf
+
+let render_markdown t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("**" ^ t.title ^ "**\n\n");
+  let line cells = "| " ^ String.concat " | " cells ^ " |\n" in
+  Buffer.add_string buf (line t.columns);
+  Buffer.add_string buf (line (List.map (fun _ -> "---") t.columns));
+  List.iter (fun row -> Buffer.add_string buf (line row)) (List.rev t.rows);
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_int = string_of_int
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let cell_ms x = Printf.sprintf "%.2fms" x
+let cell_pct x = Printf.sprintf "%.1f%%" (100.0 *. x)

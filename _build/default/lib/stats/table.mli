@@ -1,0 +1,28 @@
+(** ASCII tables for the benchmark harness — the shape the paper's tables
+    and figure series are reproduced in. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] on a width mismatch. *)
+
+val render : t -> string
+
+val render_markdown : t -> string
+(** GitHub-flavoured markdown: a bold title line, then a pipe table —
+    what EXPERIMENTS.md is built from. *)
+
+val print : t -> unit
+(** Render to stdout with a trailing newline. *)
+
+(** {2 Cell formatting helpers} *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_ms : float -> string
+(** Milliseconds with 2 decimals and the unit. *)
+
+val cell_pct : float -> string
+(** A fraction as a percentage, 1 decimal. *)

@@ -1,0 +1,1 @@
+lib/verify/convergence.ml: Db Format Int List Net

@@ -1,0 +1,1 @@
+lib/verify/convergence.mli: Db Format Net

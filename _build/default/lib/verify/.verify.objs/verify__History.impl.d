@@ -1,0 +1,1 @@
+lib/verify/history.ml: Db Format Hashtbl List Net Option

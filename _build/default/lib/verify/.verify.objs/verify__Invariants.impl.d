@@ -1,0 +1,1 @@
+lib/verify/invariants.ml: History List

@@ -1,0 +1,1 @@
+lib/verify/invariants.mli: History

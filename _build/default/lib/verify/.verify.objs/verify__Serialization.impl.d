@@ -1,0 +1,1 @@
+lib/verify/serialization.ml: Db Format History Int List Net Option String

@@ -1,0 +1,1 @@
+lib/verify/serialization.mli: Db Format History Net

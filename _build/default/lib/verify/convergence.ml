@@ -1,0 +1,37 @@
+type divergence = {
+  key : int;
+  site_a : Net.Site_id.t;
+  value_a : int;
+  site_b : Net.Site_id.t;
+  value_b : int;
+}
+
+let pp_divergence ppf d =
+  Format.fprintf ppf "key %d: %a=%d but %a=%d" d.key Net.Site_id.pp d.site_a
+    d.value_a Net.Site_id.pp d.site_b d.value_b
+
+let check replicas =
+  match replicas with
+  | [] | [ _ ] -> []
+  | (site_a, store_a) :: rest ->
+    let keys =
+      List.concat_map (fun (_, store) -> Db.Version_store.keys store) replicas
+      |> List.sort_uniq Int.compare
+    in
+    let divergences = ref [] in
+    List.iter
+      (fun (site_b, store_b) ->
+        List.iter
+          (fun key ->
+            let value_a = Db.Version_store.read_latest store_a key
+            and value_b = Db.Version_store.read_latest store_b key in
+            if value_a <> value_b then
+              divergences :=
+                { key; site_a; value_a; site_b; value_b } :: !divergences)
+          keys)
+      rest;
+    (* also compare the rest among themselves through transitivity with the
+       first replica — pairwise against one witness suffices for equality *)
+    List.rev !divergences
+
+let converged replicas = check replicas = []

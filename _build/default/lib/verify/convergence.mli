@@ -1,0 +1,20 @@
+(** Replica convergence checking (one-copy equivalence, state half).
+
+    After a run drains, every replica that applied the full set of committed
+    write sets must hold the same database state. *)
+
+type divergence = {
+  key : int;
+  site_a : Net.Site_id.t;
+  value_a : int;
+  site_b : Net.Site_id.t;
+  value_b : int;
+}
+
+val pp_divergence : Format.formatter -> divergence -> unit
+
+val check : (Net.Site_id.t * Db.Version_store.t) list -> divergence list
+(** Pairwise comparison of latest states over the union of written keys.
+    Empty iff all replicas agree. *)
+
+val converged : (Net.Site_id.t * Db.Version_store.t) list -> bool

@@ -1,0 +1,23 @@
+let read_only_never_aborted history =
+  List.for_all
+    (fun r ->
+      (not r.History.read_only)
+      ||
+      match r.History.outcome with
+      | Some (History.Aborted _) -> false
+      | Some History.Committed | None -> true)
+    (History.txns history)
+
+let no_deadlock_aborts history =
+  List.for_all
+    (fun r -> r.History.outcome <> Some (History.Aborted History.Deadlock_victim))
+    (History.txns history)
+
+let all_decided history =
+  let _, _, undecided = History.count_outcomes history in
+  undecided = 0
+
+let committed_fraction history =
+  let committed, aborted, _ = History.count_outcomes history in
+  let decided = committed + aborted in
+  if decided = 0 then 0.0 else float_of_int committed /. float_of_int decided

@@ -1,0 +1,16 @@
+(** Protocol-level invariants the paper claims, checked over histories. *)
+
+val read_only_never_aborted : History.t -> bool
+(** "Read-only transactions ... are never aborted" (paper, sections 3-5).
+    Holds for all three broadcast protocols. *)
+
+val no_deadlock_aborts : History.t -> bool
+(** No transaction ended as a deadlock victim — the broadcast protocols
+    prevent deadlocks by construction. *)
+
+val all_decided : History.t -> bool
+(** Every submitted transaction reached an outcome (liveness; meaningful
+    only after the run has drained). *)
+
+val committed_fraction : History.t -> float
+(** Committed / decided, 0 if nothing decided. *)

@@ -1,0 +1,1 @@
+test/test_broadcast.ml: Alcotest Array Broadcast Fun Lclock List Net Printf QCheck QCheck_alcotest Sim Stdlib String

@@ -1,0 +1,1 @@
+test/test_clock.ml: Alcotest Array Format Lclock QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Array Db Format List Printf QCheck QCheck_alcotest String

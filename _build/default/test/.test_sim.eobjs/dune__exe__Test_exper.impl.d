@@ -1,0 +1,1 @@
+test/test_exper.ml: Alcotest Array Broadcast Exper List Net Printf Repdb Sim Stats String Workload

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Fun List Net QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Array Db Exper Hashtbl List Net Option Printf QCheck QCheck_alcotest Repdb Sim Stats Verify Workload

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Fun List Option QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Array Db Format Hashtbl List QCheck QCheck_alcotest Sim Verify

@@ -1,0 +1,714 @@
+(* Broadcast layer: pure hold-back state machines, then endpoint groups
+   end-to-end (reliable FIFO, causal order, total order, failover, join). *)
+
+module Ep = Broadcast.Endpoint
+module Vc = Lclock.Vector_clock
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Fifo_state *)
+
+let test_fifo_in_order () =
+  let f = Broadcast.Fifo_state.create () in
+  (match Broadcast.Fifo_state.offer f ~origin:0 ~seq:0 "a" with
+  | Broadcast.Fifo_state.Ready [ (0, "a") ] -> ()
+  | _ -> Alcotest.fail "expected ready");
+  check_int "expected advanced" 1 (Broadcast.Fifo_state.expected f ~origin:0)
+
+let test_fifo_gap_then_release () =
+  let f = Broadcast.Fifo_state.create () in
+  (match Broadcast.Fifo_state.offer f ~origin:0 ~seq:2 "c" with
+  | Broadcast.Fifo_state.Buffered -> ()
+  | _ -> Alcotest.fail "early should buffer");
+  (match Broadcast.Fifo_state.offer f ~origin:0 ~seq:1 "b" with
+  | Broadcast.Fifo_state.Buffered -> ()
+  | _ -> Alcotest.fail "still a gap");
+  (match Broadcast.Fifo_state.offer f ~origin:0 ~seq:0 "a" with
+  | Broadcast.Fifo_state.Ready [ (0, "a"); (1, "b"); (2, "c") ] -> ()
+  | _ -> Alcotest.fail "gap fill releases run");
+  check_int "no pending" 0 (Broadcast.Fifo_state.pending_count f)
+
+let test_fifo_duplicates () =
+  let f = Broadcast.Fifo_state.create () in
+  ignore (Broadcast.Fifo_state.offer f ~origin:0 ~seq:0 "a");
+  (match Broadcast.Fifo_state.offer f ~origin:0 ~seq:0 "a" with
+  | Broadcast.Fifo_state.Duplicate -> ()
+  | _ -> Alcotest.fail "stale is duplicate");
+  ignore (Broadcast.Fifo_state.offer f ~origin:0 ~seq:2 "c");
+  (match Broadcast.Fifo_state.offer f ~origin:0 ~seq:2 "c" with
+  | Broadcast.Fifo_state.Duplicate -> ()
+  | _ -> Alcotest.fail "buffered twice is duplicate")
+
+let test_fifo_origins_independent () =
+  let f = Broadcast.Fifo_state.create () in
+  ignore (Broadcast.Fifo_state.offer f ~origin:0 ~seq:0 "a");
+  (match Broadcast.Fifo_state.offer f ~origin:1 ~seq:0 "x" with
+  | Broadcast.Fifo_state.Ready [ (0, "x") ] -> ()
+  | _ -> Alcotest.fail "other origin independent")
+
+let test_fifo_fast_forward () =
+  let f = Broadcast.Fifo_state.create () in
+  ignore (Broadcast.Fifo_state.offer f ~origin:0 ~seq:3 "d");
+  ignore (Broadcast.Fifo_state.offer f ~origin:0 ~seq:7 "h");
+  let released = Broadcast.Fifo_state.fast_forward f ~origin:0 ~next_seq:3 in
+  Alcotest.(check (list (pair int string))) "release from base" [ (3, "d") ] released;
+  check_int "expected" 4 (Broadcast.Fifo_state.expected f ~origin:0);
+  check_int "late one still buffered" 1 (Broadcast.Fifo_state.pending_count f);
+  Alcotest.(check (list (pair int string))) "ff no-op backwards" []
+    (Broadcast.Fifo_state.fast_forward f ~origin:0 ~next_seq:2)
+
+(* ------------------------------------------------------------------ *)
+(* Delay_queue *)
+
+let vc l = Vc.of_array (Array.of_list l)
+
+let test_delay_in_causal_order () =
+  let q = Broadcast.Delay_queue.create ~n:3 in
+  (* site 0 sends m1 <1,0,0>; site 1 delivers it then sends m2 <1,1,0> *)
+  (match Broadcast.Delay_queue.offer q ~origin:1 ~vc:(vc [ 1; 1; 0 ]) "m2" with
+  | Broadcast.Delay_queue.Buffered -> ()
+  | _ -> Alcotest.fail "m2 must wait for m1");
+  (match Broadcast.Delay_queue.offer q ~origin:0 ~vc:(vc [ 1; 0; 0 ]) "m1" with
+  | Broadcast.Delay_queue.Ready [ r1; r2 ] ->
+    Alcotest.(check string) "m1 first" "m1" r1.Broadcast.Delay_queue.payload;
+    Alcotest.(check string) "m2 second" "m2" r2.Broadcast.Delay_queue.payload
+  | _ -> Alcotest.fail "m1 unblocks m2");
+  Alcotest.(check (list int)) "delivered cut" [ 1; 1; 0 ]
+    (Array.to_list (Vc.to_array (Broadcast.Delay_queue.delivered_vc q)))
+
+let test_delay_same_origin_fifo () =
+  let q = Broadcast.Delay_queue.create ~n:2 in
+  (match Broadcast.Delay_queue.offer q ~origin:0 ~vc:(vc [ 2; 0 ]) "second" with
+  | Broadcast.Delay_queue.Buffered -> ()
+  | _ -> Alcotest.fail "seq 2 before 1 must buffer");
+  match Broadcast.Delay_queue.offer q ~origin:0 ~vc:(vc [ 1; 0 ]) "first" with
+  | Broadcast.Delay_queue.Ready rs ->
+    Alcotest.(check (list string)) "fifo" [ "first"; "second" ]
+      (List.map (fun r -> r.Broadcast.Delay_queue.payload) rs)
+  | _ -> Alcotest.fail "expected both"
+
+let test_delay_duplicates () =
+  let q = Broadcast.Delay_queue.create ~n:2 in
+  ignore (Broadcast.Delay_queue.offer q ~origin:0 ~vc:(vc [ 1; 0 ]) "m");
+  (match Broadcast.Delay_queue.offer q ~origin:0 ~vc:(vc [ 1; 0 ]) "m" with
+  | Broadcast.Delay_queue.Duplicate -> ()
+  | _ -> Alcotest.fail "redelivery is duplicate");
+  ignore (Broadcast.Delay_queue.offer q ~origin:0 ~vc:(vc [ 3; 0 ]) "early");
+  match Broadcast.Delay_queue.offer q ~origin:0 ~vc:(vc [ 3; 0 ]) "early" with
+  | Broadcast.Delay_queue.Duplicate -> ()
+  | _ -> Alcotest.fail "buffered duplicate"
+
+let test_delay_fast_forward () =
+  let q = Broadcast.Delay_queue.create ~n:2 in
+  ignore (Broadcast.Delay_queue.offer q ~origin:1 ~vc:(vc [ 2; 1 ]) "needs-2");
+  let released = Broadcast.Delay_queue.fast_forward q ~origin:0 ~count:2 in
+  Alcotest.(check (list string)) "unblocked by jump" [ "needs-2" ]
+    (List.map (fun r -> r.Broadcast.Delay_queue.payload) released)
+
+let test_delay_dimension_check () =
+  let q = Broadcast.Delay_queue.create ~n:2 in
+  Alcotest.check_raises "dimension"
+    (Invalid_argument "Delay_queue.offer: vector clock dimension mismatch")
+    (fun () -> ignore (Broadcast.Delay_queue.offer q ~origin:0 ~vc:(vc [ 1 ]) "x"))
+
+(* Random interleaving property: deliveries respect causal order. *)
+let prop_delay_causal =
+  QCheck.Test.make ~name:"delay queue delivers in causal order under any arrival"
+    ~count:200
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Sim.Rng.create ~seed in
+      let n = 3 in
+      (* build a random causal history: each site sends messages, each send
+         merges a random subset of already-delivered state *)
+      let counters = Array.make n 0 in
+      let sent = ref [] in
+      let site_vc = Array.init n (fun _ -> Array.make n 0) in
+      for _ = 1 to 25 do
+        let s = Sim.Rng.int rng n in
+        (* site s may observe another site's latest stamp (models delivery) *)
+        let o = Sim.Rng.int rng n in
+        Array.iteri
+          (fun i v -> site_vc.(s).(i) <- Stdlib.max v site_vc.(s).(i))
+          site_vc.(o);
+        counters.(s) <- counters.(s) + 1;
+        site_vc.(s).(s) <- counters.(s);
+        sent := (s, Array.copy site_vc.(s)) :: !sent
+      done;
+      let messages = Array.of_list (List.rev !sent) in
+      (* shuffle arrivals per receiver, respecting per-origin FIFO roughly
+         not at all — the queue must fix everything *)
+      let order = Array.init (Array.length messages) Fun.id in
+      for i = Array.length order - 1 downto 1 do
+        let j = Sim.Rng.int rng (i + 1) in
+        let t = order.(i) in
+        order.(i) <- order.(j);
+        order.(j) <- t
+      done;
+      let q = Broadcast.Delay_queue.create ~n in
+      let delivered = ref [] in
+      Array.iter
+        (fun idx ->
+          let origin, stamp = messages.(idx) in
+          match Broadcast.Delay_queue.offer q ~origin ~vc:(Vc.of_array stamp) idx with
+          | Broadcast.Delay_queue.Ready rs ->
+            List.iter (fun r -> delivered := r :: !delivered) rs
+          | Broadcast.Delay_queue.Buffered | Broadcast.Delay_queue.Duplicate -> ())
+        order;
+      let delivered = List.rev !delivered in
+      (* 1. everything delivered; 2. causal order respected *)
+      List.length delivered = Array.length messages
+      && begin
+        let seen = ref [] in
+        List.for_all
+          (fun r ->
+            let ok =
+              List.for_all
+                (fun earlier ->
+                  not
+                    (Vc.strictly_before r.Broadcast.Delay_queue.vc
+                       earlier.Broadcast.Delay_queue.vc))
+                !seen
+            in
+            seen := r :: !seen;
+            ok)
+          delivered
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Order_state *)
+
+let mid origin seq = { Broadcast.Msg_id.origin; cls = Broadcast.Msg_id.Total; seq }
+
+let test_order_basic () =
+  let o = Broadcast.Order_state.create () in
+  check_int "next 0" 0 (Broadcast.Order_state.next_deliver o);
+  Alcotest.(check (list int)) "arrival without order" []
+    (List.map (fun r -> r.Broadcast.Order_state.global_seq)
+       (Broadcast.Order_state.note_arrival o (mid 0 1) "a"));
+  match Broadcast.Order_state.note_order o (mid 0 1) ~global_seq:0 with
+  | [ r ] ->
+    check_int "slot" 0 r.Broadcast.Order_state.global_seq;
+    check_int "next" 1 (Broadcast.Order_state.next_deliver o)
+  | _ -> Alcotest.fail "order+arrival should deliver"
+
+let test_order_waits_for_slot_zero () =
+  let o = Broadcast.Order_state.create () in
+  ignore (Broadcast.Order_state.note_arrival o (mid 0 1) "a");
+  ignore (Broadcast.Order_state.note_arrival o (mid 1 1) "b");
+  (match Broadcast.Order_state.note_order o (mid 1 1) ~global_seq:1 with
+  | [] -> ()
+  | _ -> Alcotest.fail "slot 1 must wait for slot 0");
+  match Broadcast.Order_state.note_order o (mid 0 1) ~global_seq:0 with
+  | [ r0; r1 ] ->
+    check_int "slot0" 0 r0.Broadcast.Order_state.global_seq;
+    check_int "slot1" 1 r1.Broadcast.Order_state.global_seq
+  | _ -> Alcotest.fail "both deliver in order"
+
+let test_order_first_assignment_wins () =
+  let o = Broadcast.Order_state.create () in
+  ignore (Broadcast.Order_state.note_order o (mid 0 1) ~global_seq:0);
+  ignore (Broadcast.Order_state.note_order o (mid 0 1) ~global_seq:5);
+  Alcotest.(check (option int)) "kept first" (Some 0)
+    (Broadcast.Order_state.assignment_of o (mid 0 1));
+  ignore (Broadcast.Order_state.note_order o (mid 1 1) ~global_seq:0);
+  Alcotest.(check (option int)) "slot conflict ignored" None
+    (Broadcast.Order_state.assignment_of o (mid 1 1))
+
+let test_order_sync_roundtrip () =
+  let a = Broadcast.Order_state.create () in
+  ignore (Broadcast.Order_state.note_order a (mid 0 1) ~global_seq:0);
+  ignore (Broadcast.Order_state.note_order a (mid 2 1) ~global_seq:1);
+  let b = Broadcast.Order_state.create () in
+  ignore (Broadcast.Order_state.note_arrival b (mid 0 1) "x");
+  ignore (Broadcast.Order_state.note_arrival b (mid 2 1) "y");
+  let ready = Broadcast.Order_state.adopt b (Broadcast.Order_state.known_assignments a) in
+  check_int "sync delivers both" 2 (List.length ready);
+  check_int "max assigned" 1 (Broadcast.Order_state.max_assigned b)
+
+let test_order_unordered_arrivals () =
+  let o = Broadcast.Order_state.create () in
+  ignore (Broadcast.Order_state.note_arrival o (mid 0 1) "a");
+  ignore (Broadcast.Order_state.note_arrival o (mid 1 1) "b");
+  ignore (Broadcast.Order_state.note_order o (mid 0 1) ~global_seq:0);
+  Alcotest.(check int) "one unordered" 1
+    (List.length (Broadcast.Order_state.unordered_arrivals o))
+
+let test_order_fast_forward () =
+  let o = Broadcast.Order_state.create () in
+  ignore (Broadcast.Order_state.note_arrival o (mid 0 1) "a");
+  ignore (Broadcast.Order_state.note_order o (mid 0 1) ~global_seq:0);
+  let o2 = Broadcast.Order_state.create () in
+  Broadcast.Order_state.fast_forward o2 ~next_deliver:5;
+  check_int "jumped" 5 (Broadcast.Order_state.next_deliver o2);
+  ignore (Broadcast.Order_state.adopt o2 [ (mid 3 1), 3 ]);
+  check_int "stale assignment dropped" 0 (Broadcast.Order_state.pending_count o2)
+
+(* ------------------------------------------------------------------ *)
+(* View *)
+
+let test_view () =
+  let v = Broadcast.View.initial ~n:5 in
+  check_int "size" 5 (Broadcast.View.size v);
+  check_bool "primary" true (Broadcast.View.is_primary v ~n_total:5);
+  Alcotest.(check int) "coordinator" 0 (Broadcast.View.coordinator v);
+  let v1 = Broadcast.View.remove v 0 in
+  Alcotest.(check int) "failover to next" 1 (Broadcast.View.coordinator v1);
+  check_int "id bumped" 1 v1.Broadcast.View.id;
+  let v2 = Broadcast.View.remove (Broadcast.View.remove v1 2) 3 in
+  check_bool "minority" false (Broadcast.View.is_primary v2 ~n_total:5);
+  (* sticky coordinator: re-adding site 0 does not reclaim the role *)
+  let v3 = Broadcast.View.add v1 0 in
+  Alcotest.(check int) "sticky coordinator" 1 (Broadcast.View.coordinator v3)
+
+(* ------------------------------------------------------------------ *)
+(* Endpoint groups, end to end *)
+
+type rcv = { r_site : int; r_payload : string; r_seq : int option; r_vc : Vc.t option }
+
+let setup ?(n = 4) ?(seed = 3) ?hb_interval ?suspect_after () =
+  let engine = Sim.Engine.create ~seed () in
+  let group =
+    Ep.create_group engine ~n ~latency:Net.Latency.lan ?hb_interval
+      ?suspect_after ()
+  in
+  let log = ref [] in
+  Array.iter
+    (fun ep ->
+      Ep.set_deliver ep (fun d ->
+          log :=
+            {
+              r_site = Ep.site ep;
+              r_payload = d.Ep.payload;
+              r_seq = d.Ep.global_seq;
+              r_vc = d.Ep.vc;
+            }
+            :: !log);
+      Ep.set_snapshot_hooks ep ~get:(fun () -> "snapshot") ~install:(fun _ -> ()))
+    (Ep.endpoints group);
+  (engine, group, log)
+
+let per_site log site =
+  List.rev_map (fun r -> r) !log
+  |> List.filter (fun r -> r.r_site = site)
+
+let test_reliable_reaches_all () =
+  let engine, group, log = setup () in
+  let ep0 = (Ep.endpoints group).(0) in
+  ignore (Ep.broadcast ep0 `Reliable "hello");
+  Sim.Engine.run_until engine (Sim.Time.of_ms 40);
+  for s = 0 to 3 do
+    Alcotest.(check (list string)) "delivered once"
+      [ "hello" ]
+      (List.map (fun r -> r.r_payload) (per_site log s))
+  done
+
+let test_reliable_fifo_per_origin () =
+  let engine, group, log = setup () in
+  let ep0 = (Ep.endpoints group).(0) in
+  for i = 0 to 19 do
+    ignore (Ep.broadcast ep0 `Reliable (string_of_int i))
+  done;
+  Sim.Engine.run_until engine (Sim.Time.of_ms 100);
+  for s = 0 to 3 do
+    Alcotest.(check (list string)) "fifo"
+      (List.init 20 string_of_int)
+      (List.map (fun r -> r.r_payload) (per_site log s))
+  done
+
+let test_causal_order_across_sites () =
+  let engine, group, log = setup () in
+  let eps = Ep.endpoints group in
+  (* site 0 broadcasts a; once site 1 delivers a it broadcasts b; b must
+     never be delivered before a anywhere *)
+  Ep.set_deliver eps.(1) (fun d ->
+      log := { r_site = 1; r_payload = d.Ep.payload; r_seq = None; r_vc = d.Ep.vc } :: !log;
+      if d.Ep.payload = "a" then ignore (Ep.broadcast eps.(1) `Causal "b"));
+  ignore (Ep.broadcast eps.(0) `Causal "a");
+  Sim.Engine.run_until engine (Sim.Time.of_ms 100);
+  for s = 0 to 3 do
+    match List.map (fun r -> r.r_payload) (per_site log s) with
+    | [ "a"; "b" ] -> ()
+    | other ->
+      Alcotest.failf "site %d saw %s" s (String.concat "," other)
+  done
+
+let test_total_order_agreement () =
+  let engine, group, log = setup ~n:5 () in
+  let eps = Ep.endpoints group in
+  (* concurrent total broadcasts from every site *)
+  for s = 0 to 4 do
+    for i = 0 to 4 do
+      ignore (Ep.broadcast eps.(s) `Total (Printf.sprintf "%d-%d" s i))
+    done
+  done;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 1.0);
+  let seq0 = List.map (fun r -> r.r_payload) (per_site log 0) in
+  check_int "all delivered" 25 (List.length seq0);
+  for s = 1 to 4 do
+    Alcotest.(check (list string)) "same total order everywhere" seq0
+      (List.map (fun r -> r.r_payload) (per_site log s))
+  done;
+  (* global sequence numbers are contiguous from 0 *)
+  let seqs = List.filter_map (fun r -> r.r_seq) (per_site log 2) in
+  Alcotest.(check (list int)) "contiguous" (List.init 25 Fun.id) seqs
+
+let test_total_consistent_with_causal () =
+  let engine, group, log = setup () in
+  let eps = Ep.endpoints group in
+  (* causal write then total commit from same site: commit never first *)
+  ignore (Ep.broadcast eps.(2) `Causal "w");
+  ignore (Ep.broadcast eps.(2) `Total "c");
+  Sim.Engine.run_until engine (Sim.Time.of_ms 200);
+  for s = 0 to 3 do
+    Alcotest.(check (list string)) "w before c" [ "w"; "c" ]
+      (List.map (fun r -> r.r_payload) (per_site log s))
+  done
+
+let test_stamp_exposed () =
+  let engine, group, log = setup () in
+  let eps = Ep.endpoints group in
+  let stamp = Ep.broadcast eps.(1) `Causal "m" in
+  check_bool "stamped" true (stamp.Ep.msg_vc <> None);
+  Sim.Engine.run_until engine (Sim.Time.of_ms 40);
+  let d = List.hd (per_site log 3) in
+  check_bool "delivery carries same stamp" true
+    (match d.r_vc, stamp.Ep.msg_vc with
+    | Some a, Some b -> Vc.equal a b
+    | _ -> false)
+
+let test_sequencer_failover () =
+  let engine, group, log = setup ~n:5 () in
+  let eps = Ep.endpoints group in
+  for i = 0 to 4 do
+    ignore (Ep.broadcast eps.(1) `Total (Printf.sprintf "pre-%d" i))
+  done;
+  Sim.Engine.run_until engine (Sim.Time.of_ms 300);
+  (* kill the sequencer (site 0), wait for the view change and sync *)
+  Ep.crash group 0;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 1.0);
+  check_bool "view changed" true (not (Broadcast.View.mem (Ep.view eps.(1)) 0));
+  check_bool "new coordinator" true
+    (Net.Site_id.equal (Broadcast.View.coordinator (Ep.view eps.(1))) 1);
+  for i = 0 to 4 do
+    ignore (Ep.broadcast eps.(2) `Total (Printf.sprintf "post-%d" i))
+  done;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 2.0);
+  let survivors = [ 1; 2; 3; 4 ] in
+  let seq1 = List.map (fun r -> r.r_payload) (per_site log 1) in
+  check_int "all ten delivered at survivor" 10 (List.length seq1);
+  List.iter
+    (fun s ->
+      Alcotest.(check (list string)) "same order after failover" seq1
+        (List.map (fun r -> r.r_payload) (per_site log s)))
+    survivors
+
+let test_majority_views () =
+  let engine, group, _log = setup ~n:5 () in
+  let eps = Ep.endpoints group in
+  Ep.crash group 3;
+  Ep.crash group 4;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 1.0);
+  check_bool "3 of 5 still primary" true (Ep.is_primary eps.(0));
+  Ep.crash group 2;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 2.0);
+  check_bool "2 of 5 not primary" false (Ep.is_primary eps.(0));
+  check_int "view size" 2 (Broadcast.View.size (Ep.view eps.(0)))
+
+let test_join_rejoins_and_catches_up () =
+  let engine, group, log = setup ~n:4 () in
+  let eps = Ep.endpoints group in
+  ignore (Ep.broadcast eps.(1) `Causal "before");
+  Sim.Engine.run_until engine (Sim.Time.of_ms 100);
+  Ep.crash group 3;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 1.0);
+  ignore (Ep.broadcast eps.(1) `Causal "while-down");
+  Sim.Engine.run_until engine (Sim.Time.of_sec 1.5);
+  Ep.recover group 3;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 4.0);
+  check_bool "rejoined" true (Ep.is_ready eps.(3));
+  check_bool "back in view" true (Broadcast.View.mem (Ep.view eps.(0)) 3);
+  (* new traffic reaches the joiner *)
+  ignore (Ep.broadcast eps.(1) `Causal "after");
+  Sim.Engine.run_until engine (Sim.Time.of_sec 4.5);
+  let got = List.map (fun r -> r.r_payload) (per_site log 3) in
+  check_bool "joiner sees post-join traffic" true (List.mem "after" got);
+  check_bool "joiner did not re-deliver missed traffic (snapshot covers it)"
+    true
+    (not (List.mem "while-down" got))
+
+let test_joiner_can_broadcast_after_join () =
+  let engine, group, log = setup ~n:3 () in
+  let eps = Ep.endpoints group in
+  Ep.crash group 2;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 1.0);
+  Ep.recover group 2;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 4.0);
+  check_bool "ready" true (Ep.is_ready eps.(2));
+  ignore (Ep.broadcast eps.(2) `Causal "fresh");
+  Sim.Engine.run_until engine (Sim.Time.of_sec 4.5);
+  List.iter
+    (fun s ->
+      check_bool
+        (Printf.sprintf "site %d delivers joiner traffic" s)
+        true
+        (List.mem "fresh" (List.map (fun r -> r.r_payload) (per_site log s))))
+    [ 0; 1; 2 ]
+
+let test_flood_still_exactly_once () =
+  let engine = Sim.Engine.create ~seed:9 () in
+  let group = Ep.create_group engine ~n:4 ~latency:Net.Latency.lan ~flood:true () in
+  let log = ref [] in
+  Array.iter
+    (fun ep ->
+      Ep.set_deliver ep (fun d ->
+          log := { r_site = Ep.site ep; r_payload = d.Ep.payload; r_seq = None; r_vc = None } :: !log))
+    (Ep.endpoints group);
+  ignore (Ep.broadcast (Ep.endpoints group).(0) `Reliable "once");
+  Sim.Engine.run_until engine (Sim.Time.of_ms 200);
+  for s = 0 to 3 do
+    check_int
+      (Printf.sprintf "site %d exactly once" s)
+      1
+      (List.length (per_site log s))
+  done;
+  check_bool "relays counted" true
+    (Net.Net_stats.datagrams_for (Ep.stats group) ~category:"relay" > 0)
+
+
+(* ------------------------------------------------------------------ *)
+(* Total_lamport: the distributed atomic broadcast variant *)
+
+module Tl = Broadcast.Total_lamport
+
+let setup_lamport ?(n = 4) ?(seed = 13) () =
+  let engine = Sim.Engine.create ~seed () in
+  let group = Tl.create_group engine ~n ~latency:Net.Latency.lan () in
+  let log = ref [] in
+  Array.iter
+    (fun ep ->
+      Tl.set_deliver ep (fun ~origin:_ ~global_seq payload ->
+          log := (Tl.site ep, global_seq, payload) :: !log))
+    (Tl.endpoints group);
+  (engine, group, log)
+
+let lamport_per_site log site =
+  List.rev !log
+  |> List.filter (fun (s, _, _) -> s = site)
+  |> List.map (fun (_, seq, p) -> (seq, p))
+
+let test_lamport_total_order () =
+  let engine, group, log = setup_lamport () in
+  let eps = Tl.endpoints group in
+  for s = 0 to 3 do
+    for i = 0 to 4 do
+      Tl.broadcast eps.(s) (Printf.sprintf "%d-%d" s i)
+    done
+  done;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 1.0);
+  let seq0 = lamport_per_site log 0 in
+  check_int "all delivered" 20 (List.length seq0);
+  Alcotest.(check (list int)) "contiguous seqs" (List.init 20 Fun.id)
+    (List.map fst seq0);
+  for s = 1 to 3 do
+    Alcotest.(check (list (pair int string))) "identical order" seq0
+      (lamport_per_site log s)
+  done
+
+let test_lamport_sender_delivers_own () =
+  let engine, group, log = setup_lamport ~n:3 () in
+  Tl.broadcast (Tl.endpoints group).(1) "solo";
+  Sim.Engine.run_until engine (Sim.Time.of_sec 1.0);
+  for s = 0 to 2 do
+    Alcotest.(check (list (pair int string)))
+      (Printf.sprintf "site %d" s)
+      [ (0, "solo") ]
+      (lamport_per_site log s)
+  done
+
+let test_lamport_costs_more_than_sequencer () =
+  (* the propose/final round means ~3n datagrams vs the sequencer's n+1 *)
+  let engine, group, _log = setup_lamport ~n:5 () in
+  Tl.broadcast (Tl.endpoints group).(2) "m";
+  Sim.Engine.run_until engine (Sim.Time.of_sec 1.0);
+  let d = Net.Net_stats.datagrams (Tl.stats group) in
+  check_int "datagrams for one broadcast" 15 d
+
+(* ------------------------------------------------------------------ *)
+(* Partitions at the endpoint level *)
+
+let test_partition_majority_primary () =
+  let engine, group, log = setup ~n:5 () in
+  let eps = Ep.endpoints group in
+  Ep.partition group [ 3; 4 ];
+  Sim.Engine.run_until engine (Sim.Time.of_sec 1.0);
+  check_bool "majority side primary" true (Ep.is_primary eps.(0));
+  check_bool "minority side not primary" false (Ep.is_primary eps.(3));
+  (* majority-side traffic still flows among the majority *)
+  ignore (Ep.broadcast eps.(1) `Causal "maj");
+  Sim.Engine.run_until engine (Sim.Time.of_sec 1.5);
+  List.iter
+    (fun s ->
+      check_bool
+        (Printf.sprintf "site %d got it" s)
+        true
+        (List.mem "maj" (List.map (fun r -> r.r_payload) (per_site log s))))
+    [ 0; 1; 2 ];
+  check_bool "minority did not" true
+    (not (List.mem "maj" (List.map (fun r -> r.r_payload) (per_site log 3))))
+
+
+let test_partition_minority_never_orders () =
+  (* a total broadcast issued inside a minority partition must not be
+     delivered anywhere — ordering is a commitment the minority cannot make *)
+  let engine, group, log = setup ~n:5 () in
+  let eps = Ep.endpoints group in
+  Sim.Engine.run_until engine (Sim.Time.of_ms 50);
+  Ep.partition group [ 3; 4 ];
+  Sim.Engine.run_until engine (Sim.Time.of_sec 1.0);
+  ignore (Ep.broadcast eps.(3) `Total "minority-commit");
+  ignore (Ep.broadcast eps.(0) `Total "majority-commit");
+  Sim.Engine.run_until engine (Sim.Time.of_sec 2.0);
+  for s = 0 to 4 do
+    check_bool
+      (Printf.sprintf "site %d never delivers the minority's total" s)
+      true
+      (not (List.mem "minority-commit" (List.map (fun r -> r.r_payload) (per_site log s))))
+  done;
+  List.iter
+    (fun s ->
+      check_bool
+        (Printf.sprintf "majority site %d delivers its own" s)
+        true
+        (List.mem "majority-commit" (List.map (fun r -> r.r_payload) (per_site log s))))
+    [ 0; 1; 2 ]
+
+
+(* Regression for the batch-stamp bug: a message broadcast from inside a
+   delivery handler must never be delivered anywhere before the message
+   whose handler sent it — even when the delay queue releases bursts of
+   messages in one batch. Site 1 replies to every delivery from site 0;
+   every site must see each original before its reply. *)
+let test_reply_never_overtakes_cause () =
+  let engine = Sim.Engine.create ~seed:31 () in
+  let group = Ep.create_group engine ~n:4 ~latency:Net.Latency.lan () in
+  let eps = Ep.endpoints group in
+  let log = Array.init 4 (fun _ -> ref []) in
+  Array.iteri
+    (fun s ep ->
+      Ep.set_deliver ep (fun d ->
+          log.(s) := d.Ep.payload :: !(log.(s));
+          if s = 1 then begin
+            match d.Ep.payload with
+            | `Msg i -> ignore (Ep.broadcast eps.(1) `Causal (`Reply i))
+            | `Reply _ -> ()
+          end))
+    eps;
+  (* bursts from several sites force multi-message release batches *)
+  for i = 0 to 39 do
+    ignore (Ep.broadcast eps.(0) `Causal (`Msg i));
+    if i mod 3 = 0 then ignore (Ep.broadcast eps.(2) `Causal (`Msg (1000 + i)));
+    if i mod 5 = 0 then ignore (Ep.broadcast eps.(3) `Causal (`Msg (2000 + i)))
+  done;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 2.0);
+  Array.iteri
+    (fun s l ->
+      let seq = List.rev !l in
+      List.iteri
+        (fun reply_pos p ->
+          match p with
+          | `Reply i ->
+            let cause_pos =
+              let rec find k = function
+                | [] -> -1
+                | `Msg j :: _ when j = i -> k
+                | _ :: rest -> find (k + 1) rest
+              in
+              find 0 seq
+            in
+            check_bool
+              (Printf.sprintf "site %d: reply %d after its cause" s i)
+              true
+              (cause_pos >= 0 && cause_pos < reply_pos)
+          | `Msg _ -> ())
+        seq)
+    log
+
+(* Determinism: identical seeds give identical delivery transcripts. *)
+let test_determinism () =
+  let transcript seed =
+    let engine, group, log = setup ~seed () in
+    let eps = Ep.endpoints group in
+    for s = 0 to 3 do
+      for i = 0 to 3 do
+        ignore (Ep.broadcast eps.(s) `Total (Printf.sprintf "%d-%d" s i))
+      done
+    done;
+    Sim.Engine.run_until engine (Sim.Time.of_sec 1.0);
+    List.rev_map (fun r -> (r.r_site, r.r_payload)) !log
+  in
+  check_bool "same seed same run" true (transcript 5 = transcript 5);
+  check_bool "different seed differs" true (transcript 5 <> transcript 6)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "broadcast"
+    [
+      ( "fifo_state",
+        [
+          tc "in order" `Quick test_fifo_in_order;
+          tc "gap then release" `Quick test_fifo_gap_then_release;
+          tc "duplicates" `Quick test_fifo_duplicates;
+          tc "origins independent" `Quick test_fifo_origins_independent;
+          tc "fast forward" `Quick test_fifo_fast_forward;
+        ] );
+      ( "delay_queue",
+        [
+          tc "causal order" `Quick test_delay_in_causal_order;
+          tc "same-origin fifo" `Quick test_delay_same_origin_fifo;
+          tc "duplicates" `Quick test_delay_duplicates;
+          tc "fast forward" `Quick test_delay_fast_forward;
+          tc "dimension check" `Quick test_delay_dimension_check;
+          QCheck_alcotest.to_alcotest prop_delay_causal;
+        ] );
+      ( "order_state",
+        [
+          tc "basic" `Quick test_order_basic;
+          tc "slot zero first" `Quick test_order_waits_for_slot_zero;
+          tc "first assignment wins" `Quick test_order_first_assignment_wins;
+          tc "sync roundtrip" `Quick test_order_sync_roundtrip;
+          tc "unordered arrivals" `Quick test_order_unordered_arrivals;
+          tc "fast forward" `Quick test_order_fast_forward;
+        ] );
+      ("view", [ tc "membership algebra" `Quick test_view ]);
+      ( "endpoint",
+        [
+          tc "reliable reaches all" `Quick test_reliable_reaches_all;
+          tc "reliable fifo" `Quick test_reliable_fifo_per_origin;
+          tc "causal order across sites" `Quick test_causal_order_across_sites;
+          tc "total order agreement" `Quick test_total_order_agreement;
+          tc "total consistent with causal" `Quick test_total_consistent_with_causal;
+          tc "stamps exposed" `Quick test_stamp_exposed;
+          tc "determinism" `Quick test_determinism;
+          tc "reply never overtakes its cause (batch stamping)" `Quick
+            test_reply_never_overtakes_cause;
+          tc "flood exactly once" `Quick test_flood_still_exactly_once;
+        ] );
+      ( "failures",
+        [
+          tc "sequencer failover" `Quick test_sequencer_failover;
+          tc "majority views" `Quick test_majority_views;
+          tc "join catches up" `Quick test_join_rejoins_and_catches_up;
+          tc "joiner can broadcast" `Quick test_joiner_can_broadcast_after_join;
+          tc "partition: majority stays primary" `Quick test_partition_majority_primary;
+          tc "partition: minority never orders" `Quick test_partition_minority_never_orders;
+        ] );
+      ( "total_lamport",
+        [
+          tc "total order agreement" `Quick test_lamport_total_order;
+          tc "sender self-delivery" `Quick test_lamport_sender_delivers_own;
+          tc "cost: 3n datagrams" `Quick test_lamport_costs_more_than_sequencer;
+        ] );
+    ]

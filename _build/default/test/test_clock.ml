@@ -1,0 +1,140 @@
+(* Vector-clock laws and Lamport stamp ordering. *)
+
+module Vc = Lclock.Vector_clock
+
+let check_bool = Alcotest.(check bool)
+
+let vc l = Vc.of_array (Array.of_list l)
+
+let order =
+  Alcotest.testable
+    (fun ppf -> function
+      | Vc.Equal -> Format.pp_print_string ppf "Equal"
+      | Vc.Before -> Format.pp_print_string ppf "Before"
+      | Vc.After -> Format.pp_print_string ppf "After"
+      | Vc.Concurrent -> Format.pp_print_string ppf "Concurrent")
+    ( = )
+
+let test_compare_basic () =
+  Alcotest.check order "equal" Vc.Equal (Vc.compare_causal (vc [ 1; 2 ]) (vc [ 1; 2 ]));
+  Alcotest.check order "before" Vc.Before (Vc.compare_causal (vc [ 1; 2 ]) (vc [ 2; 2 ]));
+  Alcotest.check order "after" Vc.After (Vc.compare_causal (vc [ 3; 2 ]) (vc [ 1; 2 ]));
+  Alcotest.check order "concurrent" Vc.Concurrent
+    (Vc.compare_causal (vc [ 1; 2 ]) (vc [ 2; 1 ]))
+
+let test_tick () =
+  let a = Vc.create ~n:3 in
+  let b = Vc.tick a ~me:1 in
+  Alcotest.(check (list int)) "tick bumps me" [ 0; 1; 0 ] (Array.to_list (Vc.to_array b));
+  check_bool "original untouched" true (Vc.equal a (Vc.create ~n:3));
+  check_bool "tick is after" true (Vc.strictly_before a b)
+
+let test_merge () =
+  let m = Vc.merge (vc [ 1; 5; 0 ]) (vc [ 3; 2; 0 ]) in
+  Alcotest.(check (list int)) "pointwise max" [ 3; 5; 0 ] (Array.to_list (Vc.to_array m))
+
+let test_size_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Vector_clock: size mismatch")
+    (fun () -> ignore (Vc.merge (vc [ 1 ]) (vc [ 1; 2 ])))
+
+(* properties *)
+
+let gen_vc n = QCheck.Gen.(array_size (return n) (int_bound 20))
+
+let arb_vc_pair =
+  QCheck.make
+    ~print:(fun (a, b) ->
+      Format.asprintf "%a %a" Vc.pp (Vc.of_array a) Vc.pp (Vc.of_array b))
+    QCheck.Gen.(pair (gen_vc 4) (gen_vc 4))
+
+let arb_vc_triple =
+  QCheck.make QCheck.Gen.(triple (gen_vc 4) (gen_vc 4) (gen_vc 4))
+
+let prop_leq_antisym =
+  QCheck.Test.make ~name:"leq antisymmetric" ~count:500 arb_vc_pair
+    (fun (a, b) ->
+      let a = Vc.of_array a and b = Vc.of_array b in
+      (not (Vc.leq a b && Vc.leq b a)) || Vc.equal a b)
+
+let prop_merge_lub =
+  QCheck.Test.make ~name:"merge is least upper bound" ~count:500 arb_vc_triple
+    (fun (a, b, c) ->
+      let a = Vc.of_array a and b = Vc.of_array b and c = Vc.of_array c in
+      let m = Vc.merge a b in
+      Vc.leq a m && Vc.leq b m
+      && ((not (Vc.leq a c && Vc.leq b c)) || Vc.leq m c))
+
+let prop_concurrent_symmetric =
+  QCheck.Test.make ~name:"concurrency symmetric" ~count:500 arb_vc_pair
+    (fun (a, b) ->
+      let a = Vc.of_array a and b = Vc.of_array b in
+      Vc.concurrent a b = Vc.concurrent b a)
+
+let prop_compare_consistent_with_leq =
+  QCheck.Test.make ~name:"compare_causal agrees with leq" ~count:500 arb_vc_pair
+    (fun (a, b) ->
+      let a = Vc.of_array a and b = Vc.of_array b in
+      match Vc.compare_causal a b with
+      | Vc.Equal -> Vc.equal a b
+      | Vc.Before -> Vc.leq a b && not (Vc.leq b a)
+      | Vc.After -> Vc.leq b a && not (Vc.leq a b)
+      | Vc.Concurrent -> (not (Vc.leq a b)) && not (Vc.leq b a))
+
+(* Lamport *)
+
+let test_lamport_tick_observe () =
+  let c = Lclock.Lamport_clock.create () in
+  Alcotest.(check int) "tick" 1 (Lclock.Lamport_clock.tick c);
+  Alcotest.(check int) "observe max" 11 (Lclock.Lamport_clock.observe c 10);
+  Alcotest.(check int) "observe smaller still advances" 12
+    (Lclock.Lamport_clock.observe c 3);
+  Alcotest.(check int) "now" 12 (Lclock.Lamport_clock.now c)
+
+let test_stamp_order () =
+  let open Lclock.Lamport_clock.Stamp in
+  check_bool "clock dominates" true (compare { clock = 1; site = 9 } { clock = 2; site = 0 } < 0);
+  check_bool "site breaks ties" true (compare { clock = 2; site = 1 } { clock = 2; site = 3 } < 0);
+  check_bool "equal" true (equal { clock = 4; site = 4 } { clock = 4; site = 4 })
+
+let prop_stamp_total_order =
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        triple
+          (pair (int_bound 50) (int_bound 7))
+          (pair (int_bound 50) (int_bound 7))
+          (pair (int_bound 50) (int_bound 7)))
+  in
+  QCheck.Test.make ~name:"lamport stamps totally ordered (transitive, antisym)"
+    ~count:500 arb
+    (fun ((c1, s1), (c2, s2), (c3, s3)) ->
+      let open Lclock.Lamport_clock.Stamp in
+      let a = { clock = c1; site = s1 }
+      and b = { clock = c2; site = s2 }
+      and c = { clock = c3; site = s3 } in
+      let trans = (not (compare a b <= 0 && compare b c <= 0)) || compare a c <= 0 in
+      let antisym = (not (compare a b <= 0 && compare b a <= 0)) || equal a b in
+      trans && antisym)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "clock"
+    [
+      ( "vector",
+        [
+          tc "compare basics" `Quick test_compare_basic;
+          tc "tick" `Quick test_tick;
+          tc "merge" `Quick test_merge;
+          tc "size mismatch" `Quick test_size_mismatch;
+          QCheck_alcotest.to_alcotest prop_leq_antisym;
+          QCheck_alcotest.to_alcotest prop_merge_lub;
+          QCheck_alcotest.to_alcotest prop_concurrent_symmetric;
+          QCheck_alcotest.to_alcotest prop_compare_consistent_with_leq;
+        ] );
+      ( "lamport",
+        [
+          tc "tick and observe" `Quick test_lamport_tick_observe;
+          tc "stamp order" `Quick test_stamp_order;
+          QCheck_alcotest.to_alcotest prop_stamp_total_order;
+        ] );
+    ]

