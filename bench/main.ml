@@ -2,23 +2,34 @@
    (E1-E12, see DESIGN.md and EXPERIMENTS.md), then runs Bechamel
    micro-benchmarks of the hot path behind each experiment.
 
+   Simulation runs execute on the Parallel domain pool (sized by
+   BCASTDB_JOBS, default Domain.recommended_domain_count); tables are
+   byte-identical whatever the pool size. Timings and micro-benchmark
+   estimates are also written to BENCH_<iso-date>.json so successive PRs
+   can track the performance trajectory.
+
    Usage: dune exec bench/main.exe [-- --quick] [-- --tables-only]. *)
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let tables_only = Array.exists (( = ) "--tables-only") Sys.argv
 let micro_only = Array.exists (( = ) "--micro-only") Sys.argv
 let markdown = Array.exists (( = ) "--markdown") Sys.argv
+let no_json = Array.exists (( = ) "--no-json") Sys.argv
 
 (* ------------------------------------------------------------------ *)
-(* Paper tables *)
+(* Paper tables, timed per experiment *)
 
 let print_tables () =
-  List.iter
-    (fun (_id, table) ->
+  List.map
+    (fun ((id, experiment) : string * (?quick:bool -> unit -> Stats.Table.t)) ->
+      let t0 = Unix.gettimeofday () in
+      let table = experiment ~quick () in
+      let wall = Unix.gettimeofday () -. t0 in
       Printf.printf "\n";
       if markdown then print_string (Stats.Table.render_markdown table)
-      else Stats.Table.print table)
-    (Exper.Experiments.all ~quick ())
+      else Stats.Table.print table;
+      (id, wall))
+    Exper.Experiments.registry
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table, measuring the mechanism the
@@ -148,23 +159,109 @@ let run_micro () =
     Stats.Table.create ~title:"Micro-benchmarks (ns per operation)"
       ~columns:[ "benchmark"; "ns/op" ]
   in
-  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  |> List.iter (fun (name, ols) ->
-         let estimate =
-           match Analyze.OLS.estimates ols with
-           | Some (x :: _) -> Printf.sprintf "%.0f" x
-           | Some [] | None -> "n/a"
-         in
-         Stats.Table.add_row table [ name; estimate ]);
+  let estimates =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (name, ols) ->
+           let estimate =
+             match Analyze.OLS.estimates ols with
+             | Some (x :: _) -> Some x
+             | Some [] | None -> None
+           in
+           Stats.Table.add_row table
+             [
+               name;
+               (match estimate with
+               | Some x -> Printf.sprintf "%.0f" x
+               | None -> "n/a");
+             ];
+           (name, estimate))
+  in
   print_newline ();
-  Stats.Table.print table
+  Stats.Table.print table;
+  estimates
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable record of this run, for tracking the perf trajectory
+   across PRs: BENCH_<iso-date>.json in the working directory. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_bench_json ~experiments ~micro ~total_wall =
+  let now = Unix.gettimeofday () in
+  let tm = Unix.gmtime now in
+  let date =
+    Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+      tm.Unix.tm_mday
+  in
+  let file = Printf.sprintf "BENCH_%s.json" date in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"timestamp\": \"%sT%02d:%02d:%02dZ\",\n" date
+       tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec);
+  Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" (Parallel.jobs ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"recommended_domains\": %d,\n"
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"total_wall_s\": %.3f,\n" total_wall);
+  Buffer.add_string buf "  \"experiments\": [";
+  List.iteri
+    (fun i (id, wall) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf "\n    { \"id\": \"%s\", \"wall_s\": %.3f }"
+           (json_escape id) wall))
+    experiments;
+  Buffer.add_string buf (if experiments = [] then "],\n" else "\n  ],\n");
+  Buffer.add_string buf "  \"micro\": [";
+  List.iteri
+    (fun i (name, estimate) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf "\n    { \"name\": \"%s\", \"ns_per_op\": %s }"
+           (json_escape name)
+           (match estimate with
+           | Some x -> Printf.sprintf "%.1f" x
+           | None -> "null")))
+    micro;
+  Buffer.add_string buf (if micro = [] then "]\n" else "\n  ]\n");
+  Buffer.add_string buf "}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" file
 
 let () =
   Printf.printf
     "bcastdb benchmark harness -- reproduces the evaluation of\n\
      \"Using Broadcast Primitives in Replicated Databases\" (ICDCS 1998).\n\
-     Mode: %s\n"
-    (if quick then "quick" else "full");
-  if not micro_only then print_tables ();
-  if not tables_only then run_micro ()
+     Mode: %s   jobs: %d (BCASTDB_JOBS to override)\n"
+    (if quick then "quick" else "full")
+    (Parallel.jobs ());
+  let t0 = Unix.gettimeofday () in
+  let experiments = if micro_only then [] else print_tables () in
+  let micro = if tables_only then [] else run_micro () in
+  let total_wall = Unix.gettimeofday () -. t0 in
+  if not micro_only then begin
+    Printf.printf "\nPer-experiment wall-clock (s):\n";
+    List.iter
+      (fun (id, wall) -> Printf.printf "  %-4s %8.3f\n" id wall)
+      experiments;
+    Printf.printf "  %-4s %8.3f\n" "all" total_wall
+  end;
+  if not no_json then write_bench_json ~experiments ~micro ~total_wall

@@ -122,23 +122,12 @@ let run_term =
 (* ------------------------------------------------------------------ *)
 (* exper *)
 
-let experiments : (string * (quick:bool -> Stats.Table.t)) list =
-  [
-    ("E1", fun ~quick -> Exper.Experiments.e1_messages ~quick ());
-    ("E2", fun ~quick -> Exper.Experiments.e2_latency_sites ~quick ());
-    ("E3", fun ~quick -> Exper.Experiments.e3_implicit_ack ~quick ());
-    ("E4", fun ~quick -> Exper.Experiments.e4_aborts ~quick ());
-    ("E5", fun ~quick -> Exper.Experiments.e5_throughput ~quick ());
-    ("E6", fun ~quick -> Exper.Experiments.e6_deadlocks ~quick ());
-    ("E7", fun ~quick -> Exper.Experiments.e7_failover ~quick ());
-    ("E8", fun ~quick -> Exper.Experiments.e8_readonly ~quick ());
-    ("E9", fun ~quick -> Exper.Experiments.e9_primitives ~quick ());
-    ("E10", fun ~quick -> Exper.Experiments.e10_batched_writes ~quick ());
-    ("E11", fun ~quick -> Exper.Experiments.e11_flooding ~quick ());
-    ("E12", fun ~quick -> Exper.Experiments.e12_lossy_links ~quick ());
-  ]
+let experiments = Exper.Experiments.registry
 
-let exper_cmd which quick markdown =
+let exper_cmd which quick markdown jobs =
+  (* Simulation runs execute on the Parallel domain pool; --jobs pins its
+     size for this invocation (same knob as BCASTDB_JOBS). *)
+  (match jobs with Some n -> Parallel.set_jobs (Some n) | None -> ());
   let selected =
     match which with
     | [] -> experiments
@@ -154,8 +143,8 @@ let exper_cmd which quick markdown =
         ids
   in
   List.iter
-    (fun (_, fn) ->
-      let table = fn ~quick in
+    (fun ((_, fn) : string * (?quick:bool -> unit -> Stats.Table.t)) ->
+      let table = fn ~quick () in
       if markdown then print_string (Stats.Table.render_markdown table)
       else Stats.Table.print table;
       print_newline ())
@@ -169,7 +158,15 @@ let quick = Arg.(value & flag & info [ "quick" ] ~doc:"smaller workloads")
 let markdown =
   Arg.(value & flag & info [ "markdown" ] ~doc:"emit GitHub-flavoured markdown tables")
 
-let exper_term = Term.(const exper_cmd $ which $ quick $ markdown)
+let exper_jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ]
+        ~doc:"domain pool size for simulation runs (default: BCASTDB_JOBS or \
+              the recommended domain count; 1 = sequential)")
+
+let exper_term = Term.(const exper_cmd $ which $ quick $ markdown $ exper_jobs)
 
 (* ------------------------------------------------------------------ *)
 (* list *)

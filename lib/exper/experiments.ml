@@ -5,6 +5,14 @@ let protocols = Repdb.Protocol.all
 let broadcast_protocols = Repdb.Protocol.broadcast_based
 let name = Repdb.Protocol.name
 
+(* Every experiment below follows the same three-phase shape: build the
+   full list of simulation specs up front, run them on the domain pool
+   (each [Runner.run] is a pure function of its spec: own engine, own RNG
+   stream, own history), then fold the results into the table sequentially
+   so row order — and therefore the rendered bytes — is independent of the
+   pool size. *)
+let runs specs = Parallel.map specs ~f:R.run
+
 (* Wide key space, no read-only transactions: contention-free measurement
    of the protocols' fixed costs. *)
 let costs_profile =
@@ -58,35 +66,40 @@ let e1_messages ?(quick = false) () =
           "ack+vote datagrams/txn" ]
   in
   let txns = if quick then 60 else 300 in
-  List.iter
-    (fun n ->
-      List.iter
-        (fun proto ->
-          let r =
-            R.run
-              (R.spec ~n_sites:n ~profile:costs_profile ~txns_per_site:txns
-                 ~mpl:1 ~seed:42 proto)
-          in
-          let committed = float_of_int r.R.committed in
-          let acks =
-            List.fold_left
-              (fun acc (c, k) ->
-                if c = "ack" || c = "vote" || c = "nack" then acc + k else acc)
-              0 r.R.per_category
-          in
-          T.add_row table
-            [
-              name proto;
-              T.cell_int n;
-              T.cell_float (float_of_int r.R.broadcasts /. committed);
-              T.cell_float (float_of_int (txn_datagrams r) /. committed);
-              T.cell_int
-                (analytic_datagrams proto ~n
-                   ~w:costs_profile.Workload.writes_per_txn);
-              T.cell_float (float_of_int acks /. committed);
-            ])
-        protocols)
-    (if quick then [ 5 ] else [ 3; 5; 7; 9 ]);
+  let cells =
+    List.concat_map
+      (fun n -> List.map (fun proto -> (n, proto)) protocols)
+      (if quick then [ 5 ] else [ 3; 5; 7; 9 ])
+  in
+  let results =
+    runs
+      (List.map
+         (fun (n, proto) ->
+           R.spec ~n_sites:n ~profile:costs_profile ~txns_per_site:txns ~mpl:1
+             ~seed:42 proto)
+         cells)
+  in
+  List.iter2
+    (fun (n, proto) r ->
+      let committed = float_of_int r.R.committed in
+      let acks =
+        List.fold_left
+          (fun acc (c, k) ->
+            if c = "ack" || c = "vote" || c = "nack" then acc + k else acc)
+          0 r.R.per_category
+      in
+      T.add_row table
+        [
+          name proto;
+          T.cell_int n;
+          T.cell_float (float_of_int r.R.broadcasts /. committed);
+          T.cell_float (float_of_int (txn_datagrams r) /. committed);
+          T.cell_int
+            (analytic_datagrams proto ~n
+               ~w:costs_profile.Workload.writes_per_txn);
+          T.cell_float (float_of_int acks /. committed);
+        ])
+    cells results;
   table
 
 (* ------------------------------------------------------------------ *)
@@ -98,29 +111,34 @@ let e2_latency_sites ?(quick = false) () =
       ~columns:[ "protocol"; "sites"; "mean"; "p50"; "p95"; "analytic" ]
   in
   let txns = if quick then 60 else 250 in
-  List.iter
-    (fun n ->
-      List.iter
-        (fun proto ->
-          let r =
-            R.run
-              (R.spec ~n_sites:n ~profile:costs_profile ~txns_per_site:txns
-                 ~mpl:2 ~seed:7 proto)
-          in
-          let l = r.R.latency_ms in
-          T.add_row table
-            [
-              name proto;
-              T.cell_int n;
-              T.cell_ms (Stats.Summary.mean l);
-              T.cell_ms (Stats.Summary.median l);
-              T.cell_ms (Stats.Summary.percentile l 0.95);
-              T.cell_ms
-                (Analytic.commit_latency_ms proto ~n ~latency:Net.Latency.lan
-                   ~idle_ack_ms:10.0);
-            ])
-        protocols)
-    (if quick then [ 5 ] else [ 3; 5; 7; 9; 11 ]);
+  let cells =
+    List.concat_map
+      (fun n -> List.map (fun proto -> (n, proto)) protocols)
+      (if quick then [ 5 ] else [ 3; 5; 7; 9; 11 ])
+  in
+  let results =
+    runs
+      (List.map
+         (fun (n, proto) ->
+           R.spec ~n_sites:n ~profile:costs_profile ~txns_per_site:txns ~mpl:2
+             ~seed:7 proto)
+         cells)
+  in
+  List.iter2
+    (fun (n, proto) r ->
+      let l = r.R.latency_ms in
+      T.add_row table
+        [
+          name proto;
+          T.cell_int n;
+          T.cell_ms (Stats.Summary.mean l);
+          T.cell_ms (Stats.Summary.median l);
+          T.cell_ms (Stats.Summary.percentile l 0.95);
+          T.cell_ms
+            (Analytic.commit_latency_ms proto ~n ~latency:Net.Latency.lan
+               ~idle_ack_ms:10.0);
+        ])
+    cells results;
   table
 
 (* ------------------------------------------------------------------ *)
@@ -135,28 +153,36 @@ let e3_implicit_ack ?(quick = false) () =
         [ "variant"; "background txn/s/site"; "mean"; "p95"; "undecided" ]
   in
   let txns = if quick then 30 else 150 in
-  let run ~ack_delay ~bg label =
+  let variant ~ack_delay ~bg label =
     let config =
       { (Repdb.Config.default ~n_sites:5) with Repdb.Config.ack_delay } in
-    let r =
-      R.run
-        (R.spec ~n_sites:5 ~config ~profile:costs_profile ~txns_per_site:txns
-           ~mpl:1 ~seed:11 ?background_rate:bg Repdb.Protocol.Causal)
-    in
-    T.add_row table
-      [
-        label;
-        (match bg with Some b -> T.cell_float b | None -> "0");
-        T.cell_ms (Stats.Summary.mean r.R.latency_ms);
-        T.cell_ms (Stats.Summary.percentile r.R.latency_ms 0.95);
-        T.cell_int r.R.undecided;
-      ]
+    ( (label, bg),
+      R.spec ~n_sites:5 ~config ~profile:costs_profile ~txns_per_site:txns
+        ~mpl:1 ~seed:11 ?background_rate:bg Repdb.Protocol.Causal )
   in
   let rates = if quick then [ Some 50.0 ] else [ Some 5.0; Some 20.0; Some 100.0; Some 500.0 ] in
-  List.iter (fun bg -> run ~ack_delay:None ~bg "implicit only") rates;
-  run ~ack_delay:None ~bg:None "implicit only";
-  run ~ack_delay:(Some (Sim.Time.of_ms 10)) ~bg:None "with 10ms idle-ack";
-  run ~ack_delay:(Some (Sim.Time.of_ms 2)) ~bg:None "with 2ms idle-ack";
+  let cells =
+    List.map (fun bg -> variant ~ack_delay:None ~bg "implicit only") rates
+    @ [
+        variant ~ack_delay:None ~bg:None "implicit only";
+        variant ~ack_delay:(Some (Sim.Time.of_ms 10)) ~bg:None
+          "with 10ms idle-ack";
+        variant ~ack_delay:(Some (Sim.Time.of_ms 2)) ~bg:None
+          "with 2ms idle-ack";
+      ]
+  in
+  let results = runs (List.map snd cells) in
+  List.iter2
+    (fun ((label, bg), _) r ->
+      T.add_row table
+        [
+          label;
+          (match bg with Some b -> T.cell_float b | None -> "0");
+          T.cell_ms (Stats.Summary.mean r.R.latency_ms);
+          T.cell_ms (Stats.Summary.percentile r.R.latency_ms 0.95);
+          T.cell_int r.R.undecided;
+        ])
+    cells results;
   table
 
 (* ------------------------------------------------------------------ *)
@@ -179,40 +205,38 @@ let e4_aborts ?(quick = false) () =
       zipf_theta = theta;
     }
   in
-  List.iter
-    (fun theta ->
-      List.iter
-        (fun proto ->
-          let r =
-            R.run
-              (R.spec ~n_sites:5 ~profile:(contended theta) ~txns_per_site:txns
-                 ~mpl:3 ~seed:5 proto)
-          in
-          T.add_row table
-            [
-              name proto;
-              T.cell_float ~decimals:1 theta;
-              T.cell_pct (R.abort_rate r);
-              T.cell_int r.R.deadlocks;
-            ])
-        protocols;
-      (* the causal protocol's early concurrent-write abort, as a variant *)
-      let config =
-        { (Repdb.Config.default ~n_sites:5) with Repdb.Config.early_ww_abort = true }
-      in
-      let r =
-        R.run
-          (R.spec ~n_sites:5 ~config ~profile:(contended theta)
-             ~txns_per_site:txns ~mpl:3 ~seed:5 Repdb.Protocol.Causal)
-      in
+  let cells =
+    List.concat_map
+      (fun theta ->
+        List.map
+          (fun proto ->
+            ( (name proto, theta),
+              R.spec ~n_sites:5 ~profile:(contended theta) ~txns_per_site:txns
+                ~mpl:3 ~seed:5 proto ))
+          protocols
+        (* the causal protocol's early concurrent-write abort, as a variant *)
+        @ [
+            (let config =
+               { (Repdb.Config.default ~n_sites:5) with
+                 Repdb.Config.early_ww_abort = true }
+             in
+             ( ("causal+early", theta),
+               R.spec ~n_sites:5 ~config ~profile:(contended theta)
+                 ~txns_per_site:txns ~mpl:3 ~seed:5 Repdb.Protocol.Causal ));
+          ])
+      thetas
+  in
+  let results = runs (List.map snd cells) in
+  List.iter2
+    (fun ((label, theta), _) r ->
       T.add_row table
         [
-          "causal+early";
+          label;
           T.cell_float ~decimals:1 theta;
           T.cell_pct (R.abort_rate r);
           T.cell_int r.R.deadlocks;
         ])
-    thetas;
+    cells results;
   table
 
 (* ------------------------------------------------------------------ *)
@@ -225,25 +249,30 @@ let e5_throughput ?(quick = false) () =
   in
   let txns = if quick then 60 else 250 in
   let mpls = if quick then [ 4 ] else [ 1; 2; 4; 8; 16 ] in
-  List.iter
-    (fun mpl ->
-      List.iter
-        (fun proto ->
-          let r =
-            R.run
-              (R.spec ~n_sites:5
-                 ~profile:{ costs_profile with Workload.n_keys = 2_000 }
-                 ~txns_per_site:txns ~mpl ~seed:3 proto)
-          in
-          T.add_row table
-            [
-              name proto;
-              T.cell_int mpl;
-              T.cell_float ~decimals:0 r.R.throughput_tps;
-              T.cell_pct (R.abort_rate r);
-            ])
-        protocols)
-    mpls;
+  let cells =
+    List.concat_map
+      (fun mpl -> List.map (fun proto -> (mpl, proto)) protocols)
+      mpls
+  in
+  let results =
+    runs
+      (List.map
+         (fun (mpl, proto) ->
+           R.spec ~n_sites:5
+             ~profile:{ costs_profile with Workload.n_keys = 2_000 }
+             ~txns_per_site:txns ~mpl ~seed:3 proto)
+         cells)
+  in
+  List.iter2
+    (fun (mpl, proto) r ->
+      T.add_row table
+        [
+          name proto;
+          T.cell_int mpl;
+          T.cell_float ~decimals:0 r.R.throughput_tps;
+          T.cell_pct (R.abort_rate r);
+        ])
+    cells results;
   table
 
 (* ------------------------------------------------------------------ *)
@@ -266,11 +295,15 @@ let e6_deadlocks ?(quick = false) () =
       ro_fraction = 0.0;
     }
   in
-  List.iter
-    (fun proto ->
-      let r =
-        R.run (R.spec ~n_sites:4 ~profile ~txns_per_site:txns ~mpl:3 ~seed:23 proto)
-      in
+  let results =
+    runs
+      (List.map
+         (fun proto ->
+           R.spec ~n_sites:4 ~profile ~txns_per_site:txns ~mpl:3 ~seed:23 proto)
+         protocols)
+  in
+  List.iter2
+    (fun proto r ->
       T.add_row table
         [
           name proto;
@@ -279,7 +312,7 @@ let e6_deadlocks ?(quick = false) () =
           T.cell_ms (Stats.Summary.max r.R.latency_ms);
           T.cell_int r.R.undecided;
         ])
-    protocols;
+    protocols results;
   table
 
 (* ------------------------------------------------------------------ *)
@@ -296,18 +329,21 @@ let e7_failover ?(quick = false) () =
   let txns = if quick then 500 else 1600 in
   let crash_at = if quick then 0.3 else 1.0 in
   let rejoin_at = if quick then 0.8 else 2.5 in
-  List.iter
-    (fun proto ->
-      let r =
-        R.run
-          (R.spec ~n_sites:5
+  let results =
+    runs
+      (List.map
+         (fun proto ->
+           R.spec ~n_sites:5
              ~profile:{ costs_profile with Workload.n_keys = 5_000 }
              ~txns_per_site:txns ~mpl:2 ~seed:13
              ~events:
                [ (Sim.Time.of_sec crash_at, R.Crash 4);
                  (Sim.Time.of_sec rejoin_at, R.Recover 4) ]
              proto)
-      in
+         broadcast_protocols)
+  in
+  List.iter2
+    (fun proto r ->
       let phases =
         [ ("steady", 0.0, crash_at); ("post-crash", crash_at, rejoin_at);
           ("post-rejoin", rejoin_at, infinity) ]
@@ -330,7 +366,7 @@ let e7_failover ?(quick = false) () =
               T.cell_ms (Stats.Summary.percentile s 0.95);
             ])
         phases)
-    broadcast_protocols;
+    broadcast_protocols results;
   table
 
 (* ------------------------------------------------------------------ *)
@@ -347,11 +383,15 @@ let e8_readonly ?(quick = false) () =
   let profile =
     { Workload.default with Workload.n_keys = 500; ro_fraction = 0.8 }
   in
-  List.iter
-    (fun proto ->
-      let r =
-        R.run (R.spec ~n_sites:5 ~profile ~txns_per_site:txns ~mpl:2 ~seed:9 proto)
-      in
+  let results =
+    runs
+      (List.map
+         (fun proto ->
+           R.spec ~n_sites:5 ~profile ~txns_per_site:txns ~mpl:2 ~seed:9 proto)
+         protocols)
+  in
+  List.iter2
+    (fun proto r ->
       let ro_aborts =
         List.length
           (List.filter
@@ -371,7 +411,7 @@ let e8_readonly ?(quick = false) () =
           T.cell_ms (Stats.Summary.mean r.R.ro_latency_ms);
           T.cell_ms (Stats.Summary.mean r.R.latency_ms);
         ])
-    protocols;
+    protocols results;
   table
 
 (* ------------------------------------------------------------------ *)
@@ -454,19 +494,28 @@ let e9_primitives ?(quick = false) () =
   in
   let count = if quick then 50 else 400 in
   let n = 5 in
-  let row label (s, datagrams) =
-    T.add_row table
-      [
-        label;
-        T.cell_ms (Stats.Summary.mean s);
-        T.cell_ms (Stats.Summary.percentile s 0.95);
-        T.cell_float datagrams;
-      ]
+  (* Not [Runner.run] specs, but the same shape applies: each measurement
+     owns its engine, so the four primitives run in parallel. *)
+  let measures =
+    [
+      ("reliable", fun () -> measure_endpoint_primitive `Reliable ~n ~count);
+      ("causal", fun () -> measure_endpoint_primitive `Causal ~n ~count);
+      ( "total (sequencer)",
+        fun () -> measure_endpoint_primitive `Total ~n ~count );
+      ("total (lamport/ISIS)", fun () -> measure_lamport ~n ~count);
+    ]
   in
-  row "reliable" (measure_endpoint_primitive `Reliable ~n ~count);
-  row "causal" (measure_endpoint_primitive `Causal ~n ~count);
-  row "total (sequencer)" (measure_endpoint_primitive `Total ~n ~count);
-  row "total (lamport/ISIS)" (measure_lamport ~n ~count);
+  let results = Parallel.map measures ~f:(fun (_, measure) -> measure ()) in
+  List.iter2
+    (fun (label, _) (s, datagrams) ->
+      T.add_row table
+        [
+          label;
+          T.cell_ms (Stats.Summary.mean s);
+          T.cell_ms (Stats.Summary.percentile s 0.95);
+          T.cell_float datagrams;
+        ])
+    measures results;
   table
 
 (* ------------------------------------------------------------------ *)
@@ -486,30 +535,38 @@ let e10_batched_writes ?(quick = false) () =
       ("high",
        { costs_profile with Workload.n_keys = 150; writes_per_txn = 3 }) ]
   in
-  List.iter
-    (fun (contention, profile) ->
-      List.iter
-        (fun (label, batch) ->
-          let config =
-            { (Repdb.Config.default ~n_sites:5) with
-              Repdb.Config.atomic_batch_writes = batch }
-          in
-          let r =
-            R.run
-              (R.spec ~n_sites:5 ~config ~profile ~txns_per_site:txns ~mpl:2
-                 ~seed:4 Repdb.Protocol.Atomic)
-          in
-          T.add_row table
-            [
-              label;
-              contention;
-              T.cell_float
-                (float_of_int (txn_datagrams r) /. float_of_int r.R.committed);
-              T.cell_ms (Stats.Summary.mean r.R.latency_ms);
-              T.cell_pct (R.abort_rate r);
-            ])
-        [ ("streamed (paper sec.5)", false); ("batched (AAES97)", true) ])
-    profiles;
+  let cells =
+    List.concat_map
+      (fun (contention, profile) ->
+        List.map
+          (fun (label, batch) -> (label, contention, profile, batch))
+          [ ("streamed (paper sec.5)", false); ("batched (AAES97)", true) ])
+      profiles
+  in
+  let results =
+    runs
+      (List.map
+         (fun (_, _, profile, batch) ->
+           let config =
+             { (Repdb.Config.default ~n_sites:5) with
+               Repdb.Config.atomic_batch_writes = batch }
+           in
+           R.spec ~n_sites:5 ~config ~profile ~txns_per_site:txns ~mpl:2
+             ~seed:4 Repdb.Protocol.Atomic)
+         cells)
+  in
+  List.iter2
+    (fun (label, contention, _, _) r ->
+      T.add_row table
+        [
+          label;
+          contention;
+          T.cell_float
+            (float_of_int (txn_datagrams r) /. float_of_int r.R.committed);
+          T.cell_ms (Stats.Summary.mean r.R.latency_ms);
+          T.cell_pct (R.abort_rate r);
+        ])
+    cells results;
   table
 
 (* ------------------------------------------------------------------ *)
@@ -521,27 +578,32 @@ let e11_flooding ?(quick = false) () =
       ~columns:[ "protocol"; "flood"; "datagrams/txn"; "mean latency" ]
   in
   let txns = if quick then 40 else 150 in
-  List.iter
-    (fun proto ->
-      List.iter
-        (fun flood ->
-          let config =
-            { (Repdb.Config.default ~n_sites:5) with Repdb.Config.flood } in
-          let r =
-            R.run
-              (R.spec ~n_sites:5 ~config ~profile:costs_profile
-                 ~txns_per_site:txns ~mpl:1 ~seed:8 proto)
-          in
-          T.add_row table
-            [
-              name proto;
-              string_of_bool flood;
-              T.cell_float
-                (float_of_int (txn_datagrams r) /. float_of_int r.R.committed);
-              T.cell_ms (Stats.Summary.mean r.R.latency_ms);
-            ])
-        [ false; true ])
-    broadcast_protocols;
+  let cells =
+    List.concat_map
+      (fun proto -> List.map (fun flood -> (proto, flood)) [ false; true ])
+      broadcast_protocols
+  in
+  let results =
+    runs
+      (List.map
+         (fun (proto, flood) ->
+           let config =
+             { (Repdb.Config.default ~n_sites:5) with Repdb.Config.flood } in
+           R.spec ~n_sites:5 ~config ~profile:costs_profile ~txns_per_site:txns
+             ~mpl:1 ~seed:8 proto)
+         cells)
+  in
+  List.iter2
+    (fun (proto, flood) r ->
+      T.add_row table
+        [
+          name proto;
+          string_of_bool flood;
+          T.cell_float
+            (float_of_int (txn_datagrams r) /. float_of_int r.R.committed);
+          T.cell_ms (Stats.Summary.mean r.R.latency_ms);
+        ])
+    cells results;
   table
 
 (* ------------------------------------------------------------------ *)
@@ -556,47 +618,58 @@ let e12_lossy_links ?(quick = false) () =
   in
   let txns = if quick then 40 else 150 in
   let rates = if quick then [ 0.0; 0.05 ] else [ 0.0; 0.01; 0.05; 0.15 ] in
-  List.iter
-    (fun rate ->
-      List.iter
-        (fun proto ->
-          let loss =
-            if rate = 0.0 then None
-            else
-              Some
-                { Net.Network.drop_probability = rate; rto = Sim.Time.of_ms 20 }
-          in
-          let config = { (Repdb.Config.default ~n_sites:5) with Repdb.Config.loss } in
-          let r =
-            R.run
-              (R.spec ~n_sites:5 ~config ~profile:costs_profile
-                 ~txns_per_site:txns ~mpl:1 ~seed:6 proto)
-          in
-          T.add_row table
-            [
-              name proto;
-              T.cell_pct rate;
-              T.cell_ms (Stats.Summary.mean r.R.latency_ms);
-              T.cell_ms (Stats.Summary.percentile r.R.latency_ms 0.95);
-              T.cell_float
-                (float_of_int (txn_datagrams r) /. float_of_int r.R.committed);
-            ])
-        protocols)
-    rates;
+  let cells =
+    List.concat_map
+      (fun rate -> List.map (fun proto -> (rate, proto)) protocols)
+      rates
+  in
+  let results =
+    runs
+      (List.map
+         (fun (rate, proto) ->
+           let loss =
+             if rate = 0.0 then None
+             else
+               Some
+                 { Net.Network.drop_probability = rate; rto = Sim.Time.of_ms 20 }
+           in
+           let config = { (Repdb.Config.default ~n_sites:5) with Repdb.Config.loss } in
+           R.spec ~n_sites:5 ~config ~profile:costs_profile ~txns_per_site:txns
+             ~mpl:1 ~seed:6 proto)
+         cells)
+  in
+  List.iter2
+    (fun (rate, proto) r ->
+      T.add_row table
+        [
+          name proto;
+          T.cell_pct rate;
+          T.cell_ms (Stats.Summary.mean r.R.latency_ms);
+          T.cell_ms (Stats.Summary.percentile r.R.latency_ms 0.95);
+          T.cell_float
+            (float_of_int (txn_datagrams r) /. float_of_int r.R.committed);
+        ])
+    cells results;
   table
 
-let all ?(quick = false) () =
+let registry : (string * (?quick:bool -> unit -> Stats.Table.t)) list =
   [
-    ("E1", e1_messages ~quick ());
-    ("E2", e2_latency_sites ~quick ());
-    ("E3", e3_implicit_ack ~quick ());
-    ("E4", e4_aborts ~quick ());
-    ("E5", e5_throughput ~quick ());
-    ("E6", e6_deadlocks ~quick ());
-    ("E7", e7_failover ~quick ());
-    ("E8", e8_readonly ~quick ());
-    ("E9", e9_primitives ~quick ());
-    ("E10", e10_batched_writes ~quick ());
-    ("E11", e11_flooding ~quick ());
-    ("E12", e12_lossy_links ~quick ());
+    ("E1", e1_messages);
+    ("E2", e2_latency_sites);
+    ("E3", e3_implicit_ack);
+    ("E4", e4_aborts);
+    ("E5", e5_throughput);
+    ("E6", e6_deadlocks);
+    ("E7", e7_failover);
+    ("E8", e8_readonly);
+    ("E9", e9_primitives);
+    ("E10", e10_batched_writes);
+    ("E11", e11_flooding);
+    ("E12", e12_lossy_links);
   ]
+
+let all ?(quick = false) () =
+  List.map
+    (fun ((id, experiment) : string * (?quick:bool -> unit -> Stats.Table.t)) ->
+      (id, experiment ~quick ()))
+    registry

@@ -53,5 +53,14 @@ val e12_lossy_links : ?quick:bool -> unit -> Stats.Table.t
 (** Substrate sensitivity: datagram loss (link-level ARQ retransmission)
     versus commit latency and message cost, per protocol. *)
 
+val registry : (string * (?quick:bool -> unit -> Stats.Table.t)) list
+(** The experiments above, keyed by their DESIGN.md identifiers, in order,
+    but not yet run — drivers that want to time or select individual
+    experiments iterate this instead of duplicating the list. *)
+
 val all : ?quick:bool -> unit -> (string * Stats.Table.t) list
-(** Every experiment, keyed by its DESIGN.md identifier, in order. *)
+(** Every experiment, keyed by its DESIGN.md identifier, in order.
+    Simulation runs execute on the {!Parallel} domain pool; the rendered
+    tables are byte-identical whatever the pool size (including
+    [BCASTDB_JOBS=1]) because each run is a pure function of its spec and
+    rows are folded sequentially. *)

@@ -147,8 +147,12 @@ let run s =
              | Recover site ->
                down.(site) <- false;
                P.recover system site;
-               (* restart the site's client loop *)
-               client site)))
+               (* restart the site's full multiprogramming level: every
+                  client loop died when its in-flight decision arrived
+                  while the site was down *)
+               for _client = 1 to s.mpl do
+                 client site
+               done)))
     s.events;
 
   (* Drive the simulation in slices until every foreground transaction has

@@ -135,14 +135,14 @@ let send_all t ~src ?(include_self = true) msg =
   if src < 0 || src >= t.n then invalid_arg "Network.send_all: bad site";
   if not t.up.(src) then Net_stats.record_drop t.stats
   else begin
-    let targets =
-      List.filter
-        (fun dst -> include_self || not (Site_id.equal dst src))
-        (sites t)
-    in
-    Net_stats.record_broadcast t.stats ~category:(t.classify msg)
-      ~receivers:(List.length targets);
-    List.iter (fun dst -> deliver t ~src ~dst msg) targets
+    (* Iterate the sites directly rather than materialising a target list:
+       this is the per-broadcast hot path of every protocol. *)
+    let receivers = if include_self then t.n else t.n - 1 in
+    Net_stats.record_broadcast t.stats ~category:(t.classify msg) ~receivers;
+    for dst = 0 to t.n - 1 do
+      if include_self || not (Site_id.equal dst src) then
+        deliver t ~src ~dst msg
+    done
   end
 
 let crash t site = t.up.(site) <- false

@@ -2,12 +2,14 @@ type 'a entry = {
   time : Time.t;
   seq : int;
   value : 'a;
+  owner : int;  (* unique id of the queue that issued the handle *)
   mutable cancelled : bool;
 }
 
 type handle = H : 'a entry -> handle
 
 type 'a t = {
+  id : int;
   mutable heap : 'a entry array;
   (* [heap] is a binary min-heap in [heap.(0 .. len - 1)]. *)
   mutable len : int;
@@ -16,7 +18,20 @@ type 'a t = {
   dummy : 'a entry option;
 }
 
-let create () = { heap = [||]; len = 0; next_seq = 0; live = 0; dummy = None }
+(* Queue ids are process-global (and domain-safe: parallel experiment runs
+   each create their own engines) so a handle can name its owning queue
+   even though the handle type hides the element type. *)
+let next_queue_id = Atomic.make 0
+
+let create () =
+  {
+    id = Atomic.fetch_and_add next_queue_id 1;
+    heap = [||];
+    len = 0;
+    next_seq = 0;
+    live = 0;
+    dummy = None;
+  }
 
 let is_empty q = q.live = 0
 let size q = q.live
@@ -58,7 +73,7 @@ let grow q entry =
   end
 
 let push q ~time value =
-  let entry = { time; seq = q.next_seq; value; cancelled = false } in
+  let entry = { time; seq = q.next_seq; value; owner = q.id; cancelled = false } in
   q.next_seq <- q.next_seq + 1;
   grow q entry;
   q.heap.(q.len) <- entry;
@@ -68,12 +83,14 @@ let push q ~time value =
   H entry
 
 let cancel q (H entry) =
+  (* A handle only ever decrements the [live] count of the queue that
+     issued it; cancelling through the wrong queue would silently corrupt
+     [size]/[is_empty], so it is rejected loudly instead. *)
+  if entry.owner <> q.id then
+    invalid_arg "Event_queue.cancel: handle from a different queue";
   if not entry.cancelled then begin
     entry.cancelled <- true;
-    (* The entry may belong to a different queue; only decrement if it is
-       plausibly ours. Sharing handles across queues is a programming error
-       we tolerate by never going negative. *)
-    if q.live > 0 then q.live <- q.live - 1
+    q.live <- q.live - 1
   end
 
 let pop_entry q =

@@ -23,7 +23,10 @@ val push : 'a t -> time:Time.t -> 'a -> handle
 
 val cancel : 'a t -> handle -> unit
 (** Cancel a scheduled event. Cancelling an already-popped or
-    already-cancelled event is a no-op. *)
+    already-cancelled event is a no-op. Handles are tagged with their
+    owning queue; passing a handle to a different queue raises
+    [Invalid_argument] rather than silently corrupting that queue's
+    {!size} accounting. *)
 
 val pop : 'a t -> (Time.t * 'a) option
 (** Remove and return the earliest live event, skipping cancelled ones. *)

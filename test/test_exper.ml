@@ -52,6 +52,54 @@ let test_decision_series () =
      in
      mono series)
 
+let test_recovery_restarts_full_mpl () =
+  (* Regression: Recover must restart the crashed site's full
+     multiprogramming level, not a single client loop. Self-calibrating
+     check: the healthy sites finish long before the rejoined site, so the
+     run's tail is the recovered site's quota draining alone. Comparing
+     that tail's wall-clock against the sum of its transactions' own
+     latencies (plus think time) measures how many loops drained it — one
+     loop takes ~1.0x the summed latencies, mpl=4 loops about 0.25x.
+     Fast membership timers so the rejoin sync completes while the site
+     still has quota (submissions abort with View_change until then). *)
+  let recover_at = 1.5 in
+  let config =
+    { (Repdb.Config.default ~n_sites:3) with
+      Repdb.Config.hb_interval = Sim.Time.of_ms 2;
+      suspect_after = Sim.Time.of_ms 10 }
+  in
+  let r =
+    R.run
+      (R.spec ~n_sites:3 ~config
+         ~profile:
+           { Workload.default with Workload.n_keys = 20_000; reads_per_txn = 2;
+             writes_per_txn = 4; ro_fraction = 0.0 }
+         ~txns_per_site:1000 ~mpl:4 ~seed:77
+         ~events:
+           [ (Sim.Time.of_ms 10, R.Crash 2);
+             (Sim.Time.of_sec recover_at, R.Recover 2) ]
+         Repdb.Protocol.Atomic)
+  in
+  check_bool "only crash-time in-flight txns undecided" true
+    (r.R.undecided <= 4);
+  let tail =
+    List.filter_map
+      (fun (at, ms) -> if at > recover_at then Some ms else None)
+      r.R.decision_series
+  in
+  check_bool "recovered site worked off a real committed tail" true
+    (List.length tail > 200);
+  let busy_sec =
+    List.fold_left (fun acc ms -> acc +. (ms /. 1000.0) +. 0.0001) 0.0 tail
+  in
+  let tail_wall = r.R.elapsed_sec -. recover_at in
+  check_bool
+    (Printf.sprintf
+       "tail ran concurrently: wall %.3fs vs single-loop %.3fs" tail_wall
+       busy_sec)
+    true
+    (tail_wall < 0.6 *. busy_sec)
+
 (* ------------------------------------------------------------------ *)
 (* Paper-shape assertions (quick experiment runs) *)
 
@@ -236,6 +284,7 @@ let () =
           tc "background excluded" `Quick test_runner_background_excluded;
           tc "abort rate" `Quick test_runner_abort_rate;
           tc "decision series" `Quick test_decision_series;
+          tc "recovery restarts full mpl" `Slow test_recovery_restarts_full_mpl;
         ] );
       ( "paper shapes",
         [

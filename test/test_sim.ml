@@ -62,6 +62,24 @@ let test_queue_cancel () =
   Alcotest.(check (option string)) "skips cancelled 2" (Some "c")
     (Option.map snd (Sim.Event_queue.pop q))
 
+let test_queue_cancel_foreign_handle () =
+  (* A handle belongs to the queue that issued it: cancelling it through a
+     different queue must be rejected, not silently shrink that queue's
+     live count. *)
+  let q1 = Sim.Event_queue.create () in
+  let q2 = Sim.Event_queue.create () in
+  let h1 = Sim.Event_queue.push q1 ~time:(Sim.Time.of_us 1) "a" in
+  ignore (Sim.Event_queue.push q2 ~time:(Sim.Time.of_us 1) "b");
+  Alcotest.check_raises "foreign handle rejected"
+    (Invalid_argument "Event_queue.cancel: handle from a different queue")
+    (fun () -> Sim.Event_queue.cancel q2 h1);
+  check_int "q2 size undisturbed" 1 (Sim.Event_queue.size q2);
+  check_bool "q2 not empty" false (Sim.Event_queue.is_empty q2);
+  check_int "q1 size undisturbed" 1 (Sim.Event_queue.size q1);
+  (* the handle still works on its own queue *)
+  Sim.Event_queue.cancel q1 h1;
+  check_int "q1 empty after own cancel" 0 (Sim.Event_queue.size q1)
+
 let test_queue_peek () =
   let q = Sim.Event_queue.create () in
   Alcotest.(check (option int)) "empty" None (Sim.Event_queue.peek_time q);
@@ -244,6 +262,7 @@ let () =
           tc "pops in time order" `Quick test_queue_order;
           tc "fifo on equal times" `Quick test_queue_fifo_ties;
           tc "cancellation" `Quick test_queue_cancel;
+          tc "foreign handle rejected" `Quick test_queue_cancel_foreign_handle;
           tc "peek" `Quick test_queue_peek;
           QCheck_alcotest.to_alcotest prop_queue_sorted;
         ] );
