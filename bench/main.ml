@@ -127,6 +127,13 @@ let bench_order_state () =
       ignore (Broadcast.Order_state.note_order o (mid i) ~global_seq:i)
     done
 
+let bench_fault_plan () =
+  (* The fuzz loop's per-seed overhead: derive a schedule and compile it
+     into engine events. Must stay negligible next to the run itself. *)
+  fun () ->
+    let _, plan = Chaos.plan_of_seed Chaos.default_cfg ~seed:17 in
+    ignore (Chaos.Fault_plan.events plan)
+
 let run_micro () =
   let open Bechamel in
   let stage name f = Test.make ~name (Staged.stage (f ())) in
@@ -142,6 +149,7 @@ let run_micro () =
         stage "e7: apply 20 write sets" bench_store_apply;
         stage "e8: snapshot read (10 keys)" bench_snapshot_read;
         stage "e9: total-order bookkeeping (16 msgs)" bench_order_state;
+        stage "fuzz: fault plan generate+compile" bench_fault_plan;
       ]
   in
   let cfg =

@@ -2,6 +2,9 @@
 
    repdb_sim run <protocol> [options]   — one simulation, full report
    repdb_sim exper [E1..E12] [--quick]  — regenerate evaluation tables
+   repdb_sim fuzz [--seeds N] [options] — seeded chaos: random fault
+                                          schedules, 1SR + convergence
+                                          checking, failing-seed shrinking
    repdb_sim list                       — protocols and experiments *)
 
 open Cmdliner
@@ -169,6 +172,137 @@ let exper_jobs =
 let exper_term = Term.(const exper_cmd $ which $ quick $ markdown $ exper_jobs)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz *)
+
+let fuzz_cmd n_seeds seed_start jobs txns episodes protocol_names planted_bug
+    replay =
+  (match jobs with Some n -> Parallel.set_jobs (Some n) | None -> ());
+  let protocols =
+    match protocol_names with
+    | [] -> Chaos.default_cfg.Chaos.protocols
+    | names ->
+      List.map
+        (fun n ->
+          match Repdb.Protocol.of_name n with
+          | Some p -> p
+          | None ->
+            Printf.eprintf "unknown protocol %S\n" n;
+            exit 2)
+        names
+  in
+  let cfg =
+    {
+      Chaos.default_cfg with
+      Chaos.protocols;
+      txns_per_site = txns;
+      max_episodes = episodes;
+      planted_bug;
+    }
+  in
+  match replay with
+  | Some line -> (
+    match Chaos.case_of_repro line with
+    | Error e ->
+      Printf.eprintf "bad repro line: %s\n" e;
+      exit 2
+    | Ok case ->
+      let result = Exper.Runner.run (Chaos.spec_of_case cfg case) in
+      let report = Exper.Runner.check_execution result in
+      Format.printf "%s@.%a@." (Chaos.repro case) Verify.Check.pp report;
+      (* On divergence, show how the write order of each disputed key
+         differed between the two sites — the raw material for diagnosis. *)
+      let history = result.Exper.Runner.history in
+      let writers_of site key =
+        List.filter_map
+          (fun txn ->
+            match Verify.History.find history txn with
+            | Some rec_ when List.mem_assoc key rec_.Verify.History.writes ->
+              Some
+                (Printf.sprintf "%s->%d"
+                   (Db.Txn_id.to_string txn)
+                   (List.assoc key rec_.Verify.History.writes))
+            | _ -> None)
+          (Verify.History.apply_order history ~site)
+      in
+      List.iter
+        (fun (d : Verify.Convergence.divergence) ->
+          Format.printf "  key %d applies@." d.Verify.Convergence.key;
+          List.iter
+            (fun site ->
+              Format.printf "    S%d: %s@." site
+                (String.concat " "
+                   (writers_of site d.Verify.Convergence.key)))
+            [ d.Verify.Convergence.site_a; d.Verify.Convergence.site_b ])
+        report.Verify.Check.divergences;
+      if not (Verify.Check.ok report) then exit 1)
+  | None ->
+    let seeds = List.init n_seeds (fun i -> seed_start + i) in
+    let outcome = Chaos.fuzz cfg ~seeds in
+    print_endline (Chaos.render outcome);
+    if planted_bug then begin
+      (* Self-test mode: the planted bug MUST be caught. *)
+      if outcome.Chaos.failures = [] then begin
+        print_endline "planted-bug self-test: NOT DETECTED (checker is blind)";
+        exit 1
+      end
+      else print_endline "planted-bug self-test: detected and shrunk"
+    end
+    else if outcome.Chaos.failures <> [] then exit 1
+
+let fuzz_seeds =
+  Arg.(value & opt int 100 & info [ "seeds" ] ~doc:"number of seeds to fuzz")
+
+let fuzz_seed_start =
+  Arg.(value & opt int 0 & info [ "seed-start" ] ~doc:"first seed (seeds are consecutive)")
+
+let fuzz_jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ]
+        ~doc:"domain pool size (default: BCASTDB_JOBS or recommended; 1 = \
+              sequential). The report is byte-identical whatever the value.")
+
+let fuzz_txns =
+  Arg.(
+    value
+    & opt int Chaos.default_cfg.Chaos.txns_per_site
+    & info [ "txns" ] ~doc:"foreground transactions per site")
+
+let fuzz_episodes =
+  Arg.(
+    value
+    & opt int Chaos.default_cfg.Chaos.max_episodes
+    & info [ "episodes" ] ~doc:"max fault episodes per schedule")
+
+let fuzz_protocols =
+  Arg.(
+    value & opt_all string []
+    & info [ "protocol"; "p" ]
+        ~doc:"protocol to fuzz (repeatable; default: reliable, causal, atomic)")
+
+let fuzz_planted =
+  Arg.(
+    value & flag
+    & info [ "planted-bug" ]
+        ~doc:"self-test: run the atomic protocol with a planted \
+              premature-acknowledgment bug; exit 0 iff the harness catches \
+              and shrinks it")
+
+let fuzz_replay =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"REPRO"
+        ~doc:"replay one reported case, e.g. 'proto=atomic seed=17 sites=5 \
+              script=crash(3)@400000+300000'")
+
+let fuzz_term =
+  Term.(
+    const fuzz_cmd $ fuzz_seeds $ fuzz_seed_start $ fuzz_jobs $ fuzz_txns
+    $ fuzz_episodes $ fuzz_protocols $ fuzz_planted $ fuzz_replay)
+
+(* ------------------------------------------------------------------ *)
 (* list *)
 
 let list_cmd () =
@@ -190,6 +324,12 @@ let cmd =
       Cmd.v
         (Cmd.info "exper" ~doc:"regenerate evaluation tables (see EXPERIMENTS.md)")
         exper_term;
+      Cmd.v
+        (Cmd.info "fuzz"
+           ~doc:
+             "seeded chaos: randomized fault schedules, one-copy \
+              serializability + convergence checking, failing-seed shrinking")
+        fuzz_term;
       Cmd.v (Cmd.info "list" ~doc:"list protocols and experiments")
         Term.(const list_cmd $ const ());
     ]

@@ -87,4 +87,8 @@ let fast_forward t ~origin ~count =
     drain t
   end
 
+let purge t ~origin =
+  t.pending <-
+    List.filter (fun r -> not (Net.Site_id.equal r.origin origin)) t.pending
+
 let pending_count t = List.length t.pending

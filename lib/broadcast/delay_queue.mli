@@ -36,4 +36,11 @@ val fast_forward : 'a t -> origin:Net.Site_id.t -> count:int -> 'a release list
     messages from [origin] now stale and releasing any messages the jump
     unblocks. No-op if already at or past [count]. *)
 
+val purge : 'a t -> origin:Net.Site_id.t -> unit
+(** Drop every buffered (undelivered) message from [origin], leaving the
+    delivered counts untouched. Used when [origin] leaves the view: its
+    buffered messages can never become deliverable (a removed member will
+    not retransmit), and its sequence numbers are reused by its next
+    incarnation — leftovers would collide with the rejoined stream. *)
+
 val pending_count : 'a t -> int

@@ -327,6 +327,28 @@ and member_apply_join_commit t jc =
 and install_view t v =
   if not (View.equal t.view v) then begin
     let was_coordinator = Site_id.equal (View.coordinator t.view) t.me in
+    let removed =
+      List.filter (fun s -> not (View.mem v s)) (View.members_list t.view)
+    in
+    (* A removed member's incarnation is over: anything still buffered from
+       it can never become deliverable (a removed member does not
+       retransmit), and its sequence numbers are reused by its next
+       incarnation — the join flush re-bases the stream from the agreed
+       cut. Leftovers would be released, or shadow fresh messages as
+       duplicates, when that happens; drop them now. *)
+    List.iter
+      (fun s ->
+        Fifo_state.purge t.fifo ~origin:s;
+        Delay_queue.purge t.delay ~origin:s;
+        t.frozen <- Site_id.Set.remove s t.frozen;
+        t.frozen_buffer <-
+          List.filter
+            (fun (_, wire) ->
+              match wire with
+              | App { id; _ } -> not (Site_id.equal id.Msg_id.origin s)
+              | _ -> true)
+            t.frozen_buffer)
+      removed;
     t.view <- v;
     (match t.view_cb with Some cb -> cb v | None -> ());
     let now_coordinator =
@@ -436,7 +458,18 @@ and finalize_join t join =
     | Msg_id.Causal | Msg_id.Total -> e.e_id.Msg_id.seq <= c_base
   in
   let window = List.filter wanted window in
-  let c_floor = Vc.get (Delay_queue.delivered_vc t.delay) join.joiner in
+  (* The join commit's joiner-stream component must be deliverable at the
+     member that has delivered the LEAST from the joiner: members freeze the
+     joiner's stream when queried, so each sits exactly at its reported
+     count until the commit arrives. Flooring at our own count would block
+     the commit forever at any member the coordinator is ahead of (possible
+     after asymmetric loss around a partition edge). *)
+  let c_floor =
+    List.fold_left
+      (fun acc (_, _, c, _) -> Stdlib.min acc c)
+      (Vc.get (Delay_queue.delivered_vc t.delay) join.joiner)
+      join.reports
+  in
   (* Bring ourselves up to the bases before snapshotting, so the snapshot
      covers everything any live member has delivered from the joiner. *)
   force_apply_window t ~joiner:join.joiner ~r_base ~c_base window;
@@ -592,6 +625,15 @@ and replay_frozen t origin =
 and handle_app t ~src ~id ~vc payload =
   if Site_id.Set.mem id.Msg_id.origin t.frozen then
     t.frozen_buffer <- (src, App { id; vc; payload; relayed = false }) :: t.frozen_buffer
+  else if not (View.mem t.view id.Msg_id.origin) then
+    (* Straggler from a removed member's incarnation — e.g. sent across a
+       healed partition before the member crashed into its rejoin. Its old
+       stream ended when it left the view; admitting the message would
+       shadow (or be shadowed by) the sequence numbers of the member's next
+       incarnation. A joining member's fresh messages never hit this arm:
+       they arrive under the freeze and replay after the join commit has
+       put the joiner back in the view. *)
+    ()
   else begin
     maybe_relay t ~src ~id ~vc payload;
     match id.Msg_id.cls with
@@ -668,6 +710,7 @@ let crash group s =
 
 let partition group sites = Net.Network.partition group.g_net sites
 let heal group = Net.Network.heal group.g_net
+let set_loss group loss = Net.Network.set_loss group.g_net loss
 
 let rec joiner_retry t =
   if t.alive && t.joining && not t.initialized then begin

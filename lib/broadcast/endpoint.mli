@@ -84,6 +84,10 @@ val partition : 'a group -> Net.Site_id.t list -> unit
 
 val heal : 'a group -> unit
 
+val set_loss : 'a group -> Net.Network.loss option -> unit
+(** Swap the underlying network's link-loss model mid-run (see
+    {!Net.Network.set_loss}) — fault injection for loss bursts. *)
+
 (** {2 Per-endpoint API} *)
 
 val site : 'a t -> Net.Site_id.t

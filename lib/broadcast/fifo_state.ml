@@ -56,5 +56,10 @@ let fast_forward t ~origin ~next_seq =
     drain s
   end
 
+let purge t ~origin =
+  match Hashtbl.find_opt t origin with
+  | Some s -> s.buffered <- Int_map.empty
+  | None -> ()
+
 let pending_count t =
   Hashtbl.fold (fun _ s acc -> acc + Int_map.cardinal s.buffered) t 0

@@ -28,5 +28,10 @@ val fast_forward : 'a t -> origin:Net.Site_id.t -> next_seq:int -> (int * 'a) li
     buffered messages are discarded. No-op (returning []) if the counter is
     already at or past [next_seq]. *)
 
+val purge : 'a t -> origin:Net.Site_id.t -> unit
+(** Drop every buffered message from [origin], leaving the expected counter
+    untouched. Used when [origin] leaves the view (see
+    {!Delay_queue.purge}). *)
+
 val pending_count : 'a t -> int
 (** Total buffered messages across origins. *)

@@ -1,0 +1,94 @@
+(** Seeded chaos harness: adversarial fault schedules + end-to-end safety.
+
+    The paper's central claim is that all three broadcast protocols preserve
+    one-copy serializability {e under site failure and recovery}. This
+    module tests that claim systematically instead of by hand-picked
+    scenario: each seed deterministically yields a site count and a
+    {!Fault_plan} (crash/recover, minority partition + heal + rejoin,
+    loss bursts), every protocol runs the same schedule on the simulator,
+    and the full {!Verify.Check} battery — serialization graph, post-heal
+    replica convergence, invariants — judges the execution.
+
+    A failing case is shrunk automatically (fewer episodes, then smaller
+    partition groups and shorter windows) by re-running candidates until a
+    local minimum, and reported as a repro line that {!case_of_repro} turns
+    back into the exact same run.
+
+    Everything is a pure function of (cfg, seed): {!fuzz} fans seeds across
+    the {!Parallel} domain pool and its outcome is byte-identical whatever
+    the pool size. *)
+
+module Fault_plan : module type of Fault_plan
+(** Re-exported so library clients (tests, the CLI) can reach the fault
+    grammar through the wrapped library. *)
+
+type cfg = {
+  n_sites_choices : int list;  (** per-seed site count, drawn from these *)
+  txns_per_site : int;
+  mpl : int;
+  profile : Workload.profile;
+  protocols : Repdb.Protocol.id list;
+  max_episodes : int;  (** fault episodes per plan (>= 1 drawn) *)
+  drain_limit : Sim.Time.t;  (** stop waiting for stranded clients *)
+  shrink_budget : int;  (** max extra runs spent shrinking one failure *)
+  planted_bug : bool;
+      (** enable {!Repdb.Config.atomic_premature_ack} — the harness
+          self-test: the checkers must catch and shrink it *)
+}
+
+val default_cfg : cfg
+(** 4/5/7 sites, 60 txns/site at mpl 2 over a 64-key contended workload,
+    25% read-only; up to 3 episodes; the three broadcast protocols;
+    shrink budget 64; no planted bug. *)
+
+type case = {
+  protocol : Repdb.Protocol.id;
+  seed : int;
+  n_sites : int;
+  plan : Fault_plan.t;
+}
+
+val plan_of_seed : cfg -> seed:int -> int * Fault_plan.t
+(** The (site count, plan) a seed maps to — shared by every protocol, so
+    all protocols face the same adversarial schedule. *)
+
+val case_of_seed : cfg -> Repdb.Protocol.id -> seed:int -> case
+
+val spec_of_case : cfg -> case -> Exper.Runner.spec
+
+val run_case : cfg -> case -> Verify.Check.report
+(** Run and judge one case. Deterministic. *)
+
+type failure = {
+  case : case;  (** as generated *)
+  report : Verify.Check.report;
+  shrunk : case;  (** locally minimal failing case (same seed/protocol) *)
+  shrunk_report : Verify.Check.report;
+  shrink_runs : int;  (** extra runs the shrinker spent *)
+}
+
+val shrink : cfg -> case -> Verify.Check.report -> failure
+
+type outcome = { seeds : int; cases : int; failures : failure list }
+
+val run_seed : cfg -> seed:int -> failure list
+(** All of [cfg.protocols] on this seed's schedule; failures are shrunk. *)
+
+val fuzz : cfg -> seeds:int list -> outcome
+(** [run_seed] fanned across the domain pool, failures in seed order. *)
+
+(** {2 Repro lines} *)
+
+val repro : case -> string
+(** ["proto=atomic seed=17 sites=5 script=crash(3)@400000+300000"] —
+    replayable via {!case_of_repro}; times are integer microseconds so the
+    round trip is byte-exact. *)
+
+val case_of_repro : string -> (case, string) result
+
+val failure_lines : failure -> string list
+(** The failure's repro line plus its shrunk repro line. *)
+
+val render : outcome -> string
+(** Full deterministic report: one block per failure (in seed order), then
+    a one-line summary. *)

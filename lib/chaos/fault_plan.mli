@@ -1,0 +1,83 @@
+(** Randomized fault schedules: the chaos harness's fault grammar.
+
+    A plan is a list of {e episodes} — site outages, network partitions, and
+    datagram-loss bursts — each occupying its own window on the timeline.
+    Generation keeps windows disjoint, separated by a stabilization gap
+    longer than the failure detector's suspicion timeout, and caps partition
+    groups at a minority: every generated plan therefore ends with all sites
+    up, rejoined, and reachable, which is what makes post-heal convergence a
+    meaningful check rather than a tautological failure.
+
+    Compilation to {!Exper.Runner.event}s supplies the bookkeeping the fault
+    model demands: a healed minority is stale (messages across the cut are
+    not replayed), so each cut member is crash+recovered through the join
+    protocol shortly after the heal, exactly how the paper treats a rejoining
+    site.
+
+    Plans round-trip through a compact text form (times in integer
+    microseconds, so replay is byte-exact):
+    [crash(3)@400000+300000;cut(0|1)@900000+250000;loss(30%)@1500000+80000]. *)
+
+type episode =
+  | Outage of { site : Net.Site_id.t; at : Sim.Time.t; duration : Sim.Time.t }
+      (** crash at [at], recover at [at + duration] *)
+  | Cut of {
+      group : Net.Site_id.t list;
+      at : Sim.Time.t;
+      duration : Sim.Time.t;
+    }
+      (** partition [group] (a minority) from the rest, heal at
+          [at + duration], then crash+recover each member to rejoin *)
+  | Loss_burst of { pct : int; at : Sim.Time.t; duration : Sim.Time.t }
+      (** link loss at [pct]% drop probability (ARQ retransmits) for the
+          window, then back to clean links *)
+
+type t = episode list
+
+(** {2 Timing profile}
+
+    The membership layer tolerates message loss only together with a view
+    change (view synchrony); an outage or cut that ends before the failure
+    detector fires is silent loss with no view change — outside the paper's
+    failure model ("failures are detected by timeout"). Chaos runs the
+    group on a fast detector and keeps every crash/cut window longer than
+    the detection bound, so faults are always detected before they end.
+    {!Chaos.spec_of_case} installs these values into the run's config. *)
+
+val hb_interval : Sim.Time.t
+(** Heartbeat period for chaos runs (15 ms — fast detector). *)
+
+val suspect_after : Sim.Time.t
+(** Suspicion timeout for chaos runs (60 ms). Far above the ARQ
+    retransmission timeout, so loss bursts cannot cause false suspicion. *)
+
+val arq_rto : Sim.Time.t
+(** Retransmission timeout used by {!Loss_burst} windows (5 ms). *)
+
+val events : t -> (Sim.Time.t * Exper.Runner.event) list
+(** Compile to the runner's fault schedule, sorted by time (stable, so the
+    schedule is deterministic). *)
+
+val end_time : t -> Sim.Time.t
+(** Time of the last compiled event ({!Sim.Time.zero} for the empty plan). *)
+
+val episode_window : episode -> Sim.Time.t * Sim.Time.t
+(** [(start, end)] of the episode's fault window (excluding rejoin tail). *)
+
+val generate : rng:Sim.Rng.t -> n_sites:int -> max_episodes:int -> t
+(** Draw a well-formed plan: 1..[max_episodes] episodes in disjoint windows.
+    Requires [n_sites >= 3] (partition groups must be a minority). *)
+
+val shrink_candidates : t -> t list
+(** Strictly smaller variants, most aggressive first: drop half the
+    episodes, drop one episode, shrink a cut group by one member, halve a
+    window. Empty for the empty plan. The shrinker re-runs these in order
+    and recurses on the first that still fails. *)
+
+val to_string : t -> string
+(** Compact text form; ["none"] for the empty plan. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string} ([""] also parses as the empty plan). *)
+
+val pp : Format.formatter -> t -> unit

@@ -56,6 +56,7 @@ let crash t s = Endpoint.crash t.group s
 let recover t s = Endpoint.recover t.group s
 let partition t sites = Endpoint.partition t.group sites
 let heal t = Endpoint.heal t.group
+let set_loss t loss = Endpoint.set_loss t.group loss
 
 let buffer_write st ~txn key value =
   match Txn_id.Tbl.find_opt st.buffers txn with
@@ -97,7 +98,10 @@ let certify store read_versions =
 let handle_commit_req t st ~txn ~read_versions ~batched_writes =
   let site = Site_core.site st.core in
   let store = Site_core.store st.core in
-  if certify store read_versions then begin
+  (* Under the planted bug the origin already acked, so certification is
+     bypassed to keep the (wrong) answer consistent across sites. *)
+  if t.config.Config.atomic_premature_ack || certify store read_versions
+  then begin
     let writes =
       match batched_writes with
       | Some writes -> writes
@@ -251,7 +255,11 @@ let submit t ~origin spec ~on_done =
       ignore
         (Endpoint.broadcast st.ep `Total
            (Commit_req { txn; read_versions; batched_writes = None }))
-    end
+    end;
+    (* Planted bug: acknowledge before the total order has delivered (and
+       therefore before certification could run). *)
+    if t.config.Config.atomic_premature_ack then
+      finish_at_origin t st txn History.Committed
   end;
     txn
   end

@@ -65,6 +65,7 @@ let crash _ _ = invalid_arg "Baseline_rowa: two-phase commit blocks on failures"
 let recover _ _ = invalid_arg "Baseline_rowa: failures unsupported"
 let partition _ _ = invalid_arg "Baseline_rowa: failures unsupported"
 let heal _ = invalid_arg "Baseline_rowa: failures unsupported"
+let set_loss t loss = Net.Network.set_loss t.net loss
 
 let others t me =
   List.filter (fun s -> not (Site_id.equal s me)) (Net.Network.sites t.net)

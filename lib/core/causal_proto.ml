@@ -14,6 +14,8 @@ type active_export = {
   ax_writes : (Op.key * Op.value) list;
   ax_refused : bool;
   ax_nacks : Site_id.t list;
+  ax_nack_witnesses : Site_id.t list;
+  ax_echo_sent : bool;
   ax_participants : Site_id.t list;
   ax_cr : int array option;  (* commit-request stamp *)
 }
@@ -25,6 +27,11 @@ type payload =
           whose implicit acknowledgments (and explicit NACKs) count, fixed
           once so sites deciding during a view transition agree *)
   | Nack of { txn : Txn_id.t }
+  | Nack_echo of { txn : Txn_id.t; nacker : Site_id.t }
+      (** "I have seen [nacker]'s NACK": each site re-broadcasts the first
+          NACK it learns of (directly or via an echo); an abort is finalized
+          only once a majority of all sites is known to have seen one — see
+          [check_decision] *)
   | Ack
   | Snapshot of { xfer : State_transfer.t; active : active_export list }
 
@@ -32,6 +39,7 @@ let classify = function
   | Write _ -> "write"
   | Commit_req _ -> "commitreq"
   | Nack _ -> "nack"
+  | Nack_echo _ -> "nack"
   | Ack -> "ack"
   | Snapshot _ -> "snapshot"
 
@@ -40,7 +48,11 @@ type part_rec = {
   p_origin : Site_id.t;
   mutable p_refused : bool;  (* this site refused one of its writes *)
   mutable p_nacks : Site_id.Set.t;  (* sites whose NACK was delivered here *)
+  mutable p_nack_witnesses : Site_id.Set.t;
+      (* sites known to have seen a NACK: the nackers themselves plus every
+         site whose echo was delivered here *)
   mutable p_nack_sent : bool;
+  mutable p_echo_sent : bool;
   mutable p_participants : Site_id.Set.t;  (* electorate; set with the cr *)
   mutable p_cr : Vc.t option;  (* stamp of the delivered commit request *)
   mutable p_decided : bool;
@@ -86,6 +98,7 @@ let crash t s = Endpoint.crash t.group s
 let recover t s = Endpoint.recover t.group s
 let partition t sites = Endpoint.partition t.group sites
 let heal t = Endpoint.heal t.group
+let set_loss t loss = Endpoint.set_loss t.group loss
 
 let trace_txn =
   match Sys.getenv_opt "REPDB_TRACE_TXN" with
@@ -108,7 +121,9 @@ let part_of st ~txn ~origin =
         p_origin = origin;
         p_refused = false;
         p_nacks = Site_id.Set.empty;
+        p_nack_witnesses = Site_id.Set.empty;
         p_nack_sent = false;
+        p_echo_sent = false;
         p_participants = Site_id.Set.empty;
         p_cr = None;
         p_decided = false;
@@ -179,10 +194,13 @@ let implicitly_acked st p =
         | None -> false)
       p.p_participants
 
+let majority t = (t.config.Config.n_sites / 2) + 1
+
 let check_decision t st p =
   if not p.p_decided && Site_id.Set.mem p.p_origin p.p_nacks then
     (* The origin NACKed its own transaction (a refusal during its write
-       phase): no commit request will ever follow — authoritative abort. *)
+       phase): no commit request will ever follow — no site can ever commit
+       it, so this abort is authoritative without a stability proof. *)
     abort_at t st p ~reason:History.Write_conflict
   else if not p.p_decided && p.p_cr <> None then begin
     let me = Site_core.site st.core in
@@ -193,9 +211,22 @@ let check_decision t st p =
        replayed interleaving refused a write that the electorate accepted
        still applies the committed write set. *)
     let locally_blocked = p.p_refused && Site_id.Set.mem me p.p_participants in
-    if nacked_by_participant then abort_at t st p ~reason:History.Write_conflict
+    (* A participant's NACK blocks the commit immediately but finalizes the
+       abort only once a majority of all sites is known to have seen a NACK
+       (nackers plus echoers): under a partition a NACK may reach only a
+       minority side that is later expelled and re-initialized, while the
+       surviving primary component — which never saw it — commits. The
+       majority-witness rule makes that split impossible (any future primary
+       view intersects the witnesses); a site that cannot prove stability
+       waits, and a doomed minority origin leaves its client with an
+       undecided transaction rather than a wrong abort. *)
+    if
+      nacked_by_participant
+      && Site_id.Set.cardinal p.p_nack_witnesses >= majority t
+    then abort_at t st p ~reason:History.Write_conflict
     else if
-      (not locally_blocked) && Endpoint.is_primary st.ep && implicitly_acked st p
+      (not nacked_by_participant) && (not locally_blocked)
+      && Endpoint.is_primary st.ep && implicitly_acked st p
     then commit_at t st p
   end
 
@@ -274,13 +305,34 @@ let handle_commit_req t st ~txn ~origin ~stamp ~participants =
     | None -> ()
   end
 
+(* Record knowledge of [nacker]'s NACK, with [witnesses] the sites newly
+   known to share that knowledge, and echo it once (a site that broadcast
+   its own NACK already informed everyone) so the connected component
+   converges on a stable, majority-witnessed abort. *)
+let note_nack t st p ~nacker ~witnesses =
+  p.p_nacks <- Site_id.Set.add nacker p.p_nacks;
+  p.p_nack_witnesses <-
+    List.fold_left
+      (fun acc s -> Site_id.Set.add s acc)
+      p.p_nack_witnesses witnesses;
+  if (not p.p_nack_sent) && (not p.p_echo_sent) && Endpoint.is_ready st.ep
+  then begin
+    p.p_echo_sent <- true;
+    bcast st (Nack_echo { txn = p.p_txn; nacker })
+  end;
+  check_decision t st p
+
 let handle_nack t st ~txn ~origin ~sender =
   let p = part_of st ~txn ~origin in
   tracef txn "site %d: NACK from %d (decided=%b)@." (Site_core.site st.core) sender p.p_decided;
-  if not p.p_decided then begin
-    p.p_nacks <- Site_id.Set.add sender p.p_nacks;
-    check_decision t st p
-  end
+  if not p.p_decided then note_nack t st p ~nacker:sender ~witnesses:[ sender ]
+
+let handle_nack_echo t st ~txn ~origin ~nacker ~sender =
+  let p = part_of st ~txn ~origin in
+  tracef txn "site %d: NACK-echo of %d from %d (decided=%b)@."
+    (Site_core.site st.core) nacker sender p.p_decided;
+  if not p.p_decided then
+    note_nack t st p ~nacker ~witnesses:[ nacker; sender ]
 
 let deliver t st (d : payload Endpoint.delivery) =
   let sender = d.Endpoint.id.Broadcast.Msg_id.origin in
@@ -296,6 +348,8 @@ let deliver t st (d : payload Endpoint.delivery) =
     let stamp = Option.get d.Endpoint.vc in
     handle_commit_req t st ~txn ~origin:txn.Txn_id.origin ~stamp ~participants
   | Nack { txn } -> handle_nack t st ~txn ~origin:txn.Txn_id.origin ~sender
+  | Nack_echo { txn; nacker } ->
+    handle_nack_echo t st ~txn ~origin:txn.Txn_id.origin ~nacker ~sender
   | Ack -> ()
   | Snapshot _ -> ());
   scan_pending t st
@@ -324,6 +378,8 @@ let export_snapshot st =
             ax_writes = Site_core.buffered_writes st.core ~txn:p.p_txn;
             ax_refused = p.p_refused;
             ax_nacks = Site_id.Set.elements p.p_nacks;
+            ax_nack_witnesses = Site_id.Set.elements p.p_nack_witnesses;
+            ax_echo_sent = p.p_echo_sent;
             ax_participants = Site_id.Set.elements p.p_participants;
             ax_cr = Option.map Vc.to_array p.p_cr;
           }
@@ -346,6 +402,8 @@ let install_snapshot t st = function
         let p = part_of st ~txn:ax.ax_txn ~origin:ax.ax_origin in
         p.p_refused <- ax.ax_refused;
         p.p_nacks <- Site_id.Set.of_list ax.ax_nacks;
+        p.p_nack_witnesses <- Site_id.Set.of_list ax.ax_nack_witnesses;
+        p.p_echo_sent <- ax.ax_echo_sent;
         p.p_participants <- Site_id.Set.of_list ax.ax_participants;
         p.p_cr <- Option.map Vc.of_array ax.ax_cr;
         (* re-acquire only what the snapshot peer had granted: those are
@@ -375,7 +433,7 @@ let install_snapshot t st = function
              if st.my_bcasts = count && Endpoint.is_ready st.ep then
                bcast st Ack))
     | None -> ())
-  | Write _ | Commit_req _ | Nack _ | Ack ->
+  | Write _ | Commit_req _ | Nack _ | Nack_echo _ | Ack ->
     invalid_arg "Causal_proto: bad snapshot payload"
 
 (* ---------------- construction and submission ---------------- *)

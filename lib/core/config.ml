@@ -8,6 +8,7 @@ type t = {
   deadlock_check_period : Sim.Time.t;
   flood : bool;
   atomic_batch_writes : bool;
+  atomic_premature_ack : bool;
   loss : Net.Network.loss option;
 }
 
@@ -22,5 +23,6 @@ let default ~n_sites =
     deadlock_check_period = Sim.Time.of_ms 100;
     flood = false;
     atomic_batch_writes = false;
+    atomic_premature_ack = false;
     loss = None;
   }

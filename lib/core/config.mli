@@ -22,6 +22,14 @@ type t = {
           request (one atomic message per transaction, the style of the
           companion work [AAES97]) instead of streaming each write as its
           own causal broadcast (this paper's section 5) *)
+  atomic_premature_ack : bool;
+      (** {b Planted bug — never enable outside tests.} The atomic protocol
+          acknowledges commit at the origin as soon as the commit request is
+          broadcast, before total-order delivery runs certification (which
+          is then skipped so the premature ack is never contradicted). This
+          breaks one-copy serializability under write-write contention —
+          lost updates become cycles in the serialization graph. The chaos
+          harness's self-test proves its checkers catch exactly this. *)
   loss : Net.Network.loss option;
       (** link-level datagram loss with ARQ retransmission; [None] = clean
           links (the default; experiment E12 sweeps this) *)

@@ -54,4 +54,9 @@ module type S = sig
   (** Reconnect. Messages lost across the cut are gone; minority members
       must be brought back with {!crash}+{!recover} (state transfer), the
       same way a failed site rejoins. *)
+
+  val set_loss : t -> Net.Network.loss option -> unit
+  (** Swap the link-loss model mid-run — the chaos harness's
+      drop-probability bursts. Meaningful for every protocol (loss is a
+      substrate property, not a failure of the commit protocol). *)
 end

@@ -16,6 +16,8 @@ type active_export = {
   ax_participants : Site_id.t list;
   ax_votes_yes : Site_id.t list;
   ax_votes_no : Site_id.t list;
+  ax_no_witnesses : Site_id.t list;
+  ax_echo_sent : bool;
 }
 
 type payload =
@@ -26,12 +28,18 @@ type payload =
           since removed from its view), so every site evaluates the same
           electorate even while views are changing *)
   | Vote of { txn : Txn_id.t; voter : Site_id.t; yes : bool }
+  | No_echo of { txn : Txn_id.t; voter : Site_id.t }
+      (** "I have seen [voter]'s negative vote": each site re-broadcasts the
+          first negative vote it learns of (directly or via an echo), and an
+          abort is finalized only once a majority of all sites is known to
+          have seen one — see [check_decision] *)
   | Snapshot of { xfer : State_transfer.t; active : active_export list }
 
 let classify = function
   | Write _ -> "write"
   | Commit_req _ -> "commitreq"
   | Vote _ -> "vote"
+  | No_echo _ -> "vote"
   | Snapshot _ -> "snapshot"
 
 (* Per-transaction participant state; every site keeps one per update
@@ -44,6 +52,10 @@ type part_rec = {
   mutable p_participants : Site_id.Set.t;  (* electorate; set with the cr *)
   mutable p_votes_yes : Site_id.Set.t;
   mutable p_votes_no : Site_id.Set.t;
+  mutable p_no_witnesses : Site_id.Set.t;
+      (* sites known to have seen a negative vote: the voters themselves
+         plus every site whose echo was delivered here *)
+  mutable p_echo_sent : bool;
   mutable p_decided : bool;
 }
 
@@ -75,6 +87,7 @@ let crash t s = Endpoint.crash t.group s
 let recover t s = Endpoint.recover t.group s
 let partition t sites = Endpoint.partition t.group sites
 let heal t = Endpoint.heal t.group
+let set_loss t loss = Endpoint.set_loss t.group loss
 
 let trace_txn =
   match Sys.getenv_opt "REPDB_TRACE_TXN" with
@@ -100,6 +113,8 @@ let part_of st ~txn ~origin =
         p_participants = Site_id.Set.empty;
         p_votes_yes = Site_id.Set.empty;
         p_votes_no = Site_id.Set.empty;
+        p_no_witnesses = Site_id.Set.empty;
+        p_echo_sent = false;
         p_decided = false;
       }
     in
@@ -131,16 +146,29 @@ let commit_at t st p =
   end
 
 (* Decide if possible. The electorate is the participant set the commit
-   request named; a negative vote from any participant aborts, and positive
-   votes covering every participant still in the decider's current view
-   commit. Failure-detection timeouts exceed message latency by orders of
-   magnitude, so a participant's vote is delivered everywhere long before
-   anyone removes it from a view — all sites settle on the same decision. *)
+   request named; positive votes covering every participant still in the
+   decider's current view commit, provided no participant is known to have
+   voted no. A negative vote alone must NOT finalize an abort: under a
+   partition it may have reached only a minority side whose members are
+   later expelled and re-initialized, while the surviving primary component
+   — which never saw it — commits. An abort is therefore finalized only
+   once a majority of all sites is known to have seen a negative vote
+   (voters plus echoers, see [No_echo]): any future primary view intersects
+   that majority in a member that retains the vote and blocks the commit,
+   so the two outcomes can never split. A site that knows a negative vote
+   but cannot yet prove it stable simply waits — if it is on a doomed
+   minority side its state is discarded at rejoin, and its client sees the
+   transaction as undecided rather than wrongly aborted. *)
+let majority t = (t.config.Config.n_sites / 2) + 1
+
 let check_decision t st p =
   if not p.p_decided && p.p_cr_seen then begin
-    if not (Site_id.Set.is_empty (Site_id.Set.inter p.p_votes_no p.p_participants))
-    then abort_at t st p ~reason:History.Write_conflict
-    else if Endpoint.is_primary st.ep then begin
+    if Site_id.Set.cardinal p.p_no_witnesses >= majority t then
+      abort_at t st p ~reason:History.Write_conflict
+    else if
+      Site_id.Set.is_empty (Site_id.Set.inter p.p_votes_no p.p_participants)
+      && Endpoint.is_primary st.ep
+    then begin
       let view = Endpoint.view st.ep in
       let electorate =
         Site_id.Set.filter
@@ -184,14 +212,37 @@ let handle_commit_req t st ~txn ~origin ~participants =
     check_decision t st p
   end
 
+(* Record knowledge of [voter]'s negative vote, with [witnesses] the sites
+   newly known to share that knowledge, and echo it once so the whole
+   connected component converges on a stable (majority-witnessed) abort. *)
+let note_no t st p ~voter ~witnesses =
+  p.p_votes_no <- Site_id.Set.add voter p.p_votes_no;
+  p.p_no_witnesses <-
+    List.fold_left
+      (fun acc s -> Site_id.Set.add s acc)
+      p.p_no_witnesses witnesses;
+  if (not p.p_echo_sent) && Endpoint.is_ready st.ep then begin
+    p.p_echo_sent <- true;
+    ignore (Endpoint.broadcast st.ep `Reliable (No_echo { txn = p.p_txn; voter }))
+  end;
+  check_decision t st p
+
 let handle_vote t st ~txn ~origin ~voter ~yes =
   let p = part_of st ~txn ~origin in
   tracef txn "site %d: vote %b from %d (decided=%b)@." (Site_core.site st.core) yes voter p.p_decided;
   if not p.p_decided then begin
-    if yes then p.p_votes_yes <- Site_id.Set.add voter p.p_votes_yes
-    else p.p_votes_no <- Site_id.Set.add voter p.p_votes_no;
-    check_decision t st p
+    if yes then begin
+      p.p_votes_yes <- Site_id.Set.add voter p.p_votes_yes;
+      check_decision t st p
+    end
+    else note_no t st p ~voter ~witnesses:[ voter ]
   end
+
+let handle_no_echo t st ~txn ~origin ~voter ~echoer =
+  let p = part_of st ~txn ~origin in
+  tracef txn "site %d: no-echo of %d's vote from %d (decided=%b)@."
+    (Site_core.site st.core) voter echoer p.p_decided;
+  if not p.p_decided then note_no t st p ~voter ~witnesses:[ voter; echoer ]
 
 let deliver t st (d : payload Endpoint.delivery) =
   let origin = d.Endpoint.id.Broadcast.Msg_id.origin in
@@ -202,6 +253,8 @@ let deliver t st (d : payload Endpoint.delivery) =
   | Vote { txn; voter; yes } ->
     (* the txn's origin is not the vote's broadcast origin *)
     handle_vote t st ~txn ~origin:txn.Txn_id.origin ~voter ~yes
+  | No_echo { txn; voter } ->
+    handle_no_echo t st ~txn ~origin:txn.Txn_id.origin ~voter ~echoer:origin
   | Snapshot _ -> ()  (* snapshots ride only inside join commits *)
 
 (* A view change re-evaluates every pending transaction: the vote quorum
@@ -235,6 +288,8 @@ let export_snapshot t st =
             ax_participants = Site_id.Set.elements p.p_participants;
             ax_votes_yes = Site_id.Set.elements p.p_votes_yes;
             ax_votes_no = Site_id.Set.elements p.p_votes_no;
+            ax_no_witnesses = Site_id.Set.elements p.p_no_witnesses;
+            ax_echo_sent = p.p_echo_sent;
           }
           :: acc)
       st.part []
@@ -254,6 +309,8 @@ let install_snapshot t st = function
         p.p_participants <- Site_id.Set.of_list ax.ax_participants;
         p.p_votes_yes <- Site_id.Set.of_list ax.ax_votes_yes;
         p.p_votes_no <- Site_id.Set.of_list ax.ax_votes_no;
+        p.p_no_witnesses <- Site_id.Set.of_list ax.ax_no_witnesses;
+        p.p_echo_sent <- ax.ax_echo_sent;
         (* Re-acquire locks only for transactions the snapshot peer had
            granted: those are mutually conflict-free, so re-acquisition
            cannot depend on import order. Refused ones keep their flag. *)
@@ -281,7 +338,7 @@ let install_snapshot t st = function
                    cast_vote st p));
         check_decision t st p)
       active
-  | Write _ | Commit_req _ | Vote _ ->
+  | Write _ | Commit_req _ | Vote _ | No_echo _ ->
     invalid_arg "Reliable_proto: bad snapshot payload"
 
 (* ---------------- construction and submission ---------------- *)

@@ -52,6 +52,31 @@ let acquire t ~txn k mode =
   | Some Exclusive -> Granted
   | Some Shared when mode = Shared -> Granted
   | held -> begin
+    (* A transaction keeps at most one queue entry per key: re-requesting
+       while queued is answered from the pending entry (escalating it in
+       place for a Shared->Exclusive change) rather than appending a
+       duplicate, which would otherwise leave a stale entry queued after the
+       first one is promoted. *)
+    let queued_mode =
+      List.find_map
+        (fun (id, m) -> if Txn_id.equal id txn then Some m else None)
+        e.queue
+    in
+    match queued_mode with
+    | Some Exclusive -> Queued
+    | Some Shared when mode = Shared -> Queued
+    | Some Shared -> begin
+      match t.policy with
+      | No_wait -> Refused
+      | Wait ->
+        e.queue <-
+          List.map
+            (fun (id, m) ->
+              if Txn_id.equal id txn then (id, Exclusive) else (id, m))
+            e.queue;
+        Queued
+    end
+    | None ->
     (* New request, or a Shared->Exclusive upgrade. Strict FIFO: the queue
        must be empty for an immediate grant, so nobody overtakes. *)
     let immediate = holders_allow e txn mode && e.queue = [] in

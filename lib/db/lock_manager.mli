@@ -42,7 +42,11 @@ val acquire : t -> txn:Txn_id.t -> key -> mode -> decision
 (** Request a lock. Re-acquiring a held mode (or [Shared] while holding
     [Exclusive]) is [Granted] idempotently. A [Shared]-to-[Exclusive]
     upgrade is granted iff the transaction is the sole holder and no one is
-    queued; otherwise it conflicts per the policy. *)
+    queued; otherwise it conflicts per the policy. A transaction keeps at
+    most one queue entry per key: re-requesting while queued answers
+    [Queued] from the pending entry (escalated in place for a
+    [Shared]-to-[Exclusive] change under [Wait], [Refused] under
+    [No_wait]) instead of queueing a duplicate. *)
 
 val release_all : t -> Txn_id.t -> unit
 (** Drop every lock held or requested by the transaction (commit or abort),

@@ -1,7 +1,12 @@
 module History = Verify.History
 module Txn_id = Db.Txn_id
 
-type event = Crash of Net.Site_id.t | Recover of Net.Site_id.t
+type event =
+  | Crash of Net.Site_id.t
+  | Recover of Net.Site_id.t
+  | Partition of Net.Site_id.t list
+  | Heal
+  | Set_loss of Net.Network.loss option
 
 type spec = {
   protocol : Repdb.Protocol.id;
@@ -152,7 +157,10 @@ let run s =
                   while the site was down *)
                for _client = 1 to s.mpl do
                  client site
-               done)))
+               done
+             | Partition group -> P.partition system group
+             | Heal -> P.heal system
+             | Set_loss loss -> P.set_loss system loss)))
     s.events;
 
   (* Drive the simulation in slices until every foreground transaction has
@@ -227,6 +235,15 @@ let run s =
         (fun site -> if down.(site) then None else Some (site, P.store system site))
         (Net.Site_id.all ~n);
   }
+
+let check_execution ?require_all_decided ?deadlock_free result =
+  let deadlock_free =
+    match deadlock_free with
+    | Some b -> b
+    | None -> result.protocol_name <> Repdb.Protocol.name Repdb.Protocol.Baseline
+  in
+  Verify.Check.check_execution ?require_all_decided ~deadlock_free
+    ~history:result.history ~stores:result.stores ()
 
 let one_copy_serializable result =
   Verify.Serialization.is_one_copy_serializable result.history

@@ -8,7 +8,14 @@
     protocol's implicit acknowledgments; optional crash/recover events
     drive the availability experiment. Fully deterministic per seed. *)
 
-type event = Crash of Net.Site_id.t | Recover of Net.Site_id.t
+type event =
+  | Crash of Net.Site_id.t
+  | Recover of Net.Site_id.t
+  | Partition of Net.Site_id.t list
+      (** cut the listed sites off from the rest; replaces any earlier cut *)
+  | Heal  (** remove the partition (stale minority members must rejoin) *)
+  | Set_loss of Net.Network.loss option
+      (** swap the link-loss model (drop-probability burst on, or back off) *)
 
 type spec = {
   protocol : Repdb.Protocol.id;
@@ -64,6 +71,14 @@ type result = {
 val run : spec -> result
 
 (** {2 Checks over results} *)
+
+val check_execution :
+  ?require_all_decided:bool -> ?deadlock_free:bool -> result -> Verify.Check.report
+(** The full {!Verify.Check} battery over the run's history and final
+    replica states. [deadlock_free] defaults to true except for the
+    baseline (whose blocking 2PL legitimately takes deadlock-victim
+    aborts); see {!Verify.Check.check_execution} for the fault-tolerant
+    reading of the invariants. *)
 
 val one_copy_serializable : result -> bool
 val converged : result -> bool

@@ -7,7 +7,7 @@ type 'm t = {
   classify : 'm -> string;
   loopback : Sim.Time.t;
   trace : Sim.Trace.t option;
-  loss : loss option;
+  mutable loss : loss option;
   rng : Sim.Rng.t;
   handlers : (src:Site_id.t -> 'm -> unit) option array;
   up : bool array;
@@ -18,13 +18,15 @@ type 'm t = {
   stats : Net_stats.t;
 }
 
+let validate_loss ~who = function
+  | Some { drop_probability = p; _ } when p < 0.0 || p >= 1.0 ->
+    invalid_arg (who ^ ": drop_probability must be in [0, 1)")
+  | Some _ | None -> ()
+
 let create engine ~n ~latency ?(classify = fun _ -> "msg")
     ?(loopback = Sim.Time.of_us 10) ?trace ?loss () =
   if n <= 0 then invalid_arg "Network.create: n <= 0";
-  (match loss with
-  | Some { drop_probability = p; _ } when p < 0.0 || p >= 1.0 ->
-    invalid_arg "Network.create: drop_probability must be in [0, 1)"
-  | Some _ | None -> ());
+  validate_loss ~who:"Network.create" loss;
   {
     engine;
     n;
@@ -70,12 +72,16 @@ let record t ~src ~dst event msg =
 (* Schedule the delivery of one datagram, maintaining per-link FIFO order:
    the delivery time is the max of (now + sampled latency) and the link's
    previous delivery time. Datagrams already in flight survive a later crash
-   of their sender (they left the source when sent); they are dropped only
-   if the destination is down or the pair is partitioned at delivery time.
-   Together with the atomic fan-out in [send_all], this gives physical
-   broadcasts an all-or-nothing property: either every up receiver gets a
-   copy or (sender down at send time) none does. *)
-let deliver t ~src ~dst msg =
+   of their sender (they left the source when sent); at delivery they are
+   dropped only if the destination is down. Whether a partition cuts the
+   datagram is decided HERE, at send time: per-destination latencies are
+   sampled independently, so checking sides at delivery time would let one
+   receiver's copy land just before the cut and another's just after —
+   breaking, for a broadcast straddling the cut edge, the all-or-nothing
+   property [send_all] promises (either every up same-side receiver gets a
+   copy or none does). Evaluating every copy's fate at the single send
+   instant keeps the decision uniform across the fan-out. *)
+let deliver_scheduled t ~src ~dst msg =
   let delay =
     if Site_id.equal src dst then t.loopback else Latency.sample t.latency t.rng
   in
@@ -102,7 +108,7 @@ let deliver t ~src ~dst msg =
   let at = Sim.Time.max earliest t.link_clock.(slot) in
   t.link_clock.(slot) <- at;
   let callback () =
-    if t.up.(dst) && same_side t src dst then begin
+    if t.up.(dst) then begin
       match t.handlers.(dst) with
       | Some handler ->
         record t ~src ~dst "deliver" msg;
@@ -117,6 +123,13 @@ let deliver t ~src ~dst msg =
     end
   in
   ignore (Sim.Engine.schedule_at t.engine ~time:at callback)
+
+let deliver t ~src ~dst msg =
+  if not (same_side t src dst) then begin
+    record t ~src ~dst "drop(cut)" msg;
+    Net_stats.record_drop t.stats
+  end
+  else deliver_scheduled t ~src ~dst msg
 
 let send t ~src ~dst msg =
   if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
@@ -144,6 +157,10 @@ let send_all t ~src ?(include_self = true) msg =
         deliver t ~src ~dst msg
     done
   end
+
+let set_loss t loss =
+  validate_loss ~who:"Network.set_loss" loss;
+  t.loss <- loss
 
 let crash t site = t.up.(site) <- false
 let recover t site = t.up.(site) <- true

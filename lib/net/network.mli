@@ -65,6 +65,12 @@ val send_all : 'm t -> src:Site_id.t -> ?include_self:bool -> 'm -> unit
 
 (** {2 Failures} *)
 
+val set_loss : 'm t -> loss option -> unit
+(** Replace the link-loss model mid-run — the chaos harness's
+    drop-probability bursts. Datagrams already scheduled keep the delivery
+    times they were assigned; only subsequent sends see the new setting.
+    Raises [Invalid_argument] on a probability outside [\[0, 1)]. *)
+
 val crash : 'm t -> Site_id.t -> unit
 (** Take a site down. In-flight messages to it are dropped at delivery
     time. Idempotent. *)

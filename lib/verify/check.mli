@@ -1,0 +1,52 @@
+(** End-to-end safety verdict over one finished run.
+
+    Bundles the three judges — the one-copy serialization graph
+    ({!Serialization}), post-drain replica convergence ({!Convergence}), and
+    the paper's protocol invariants ({!Invariants}) — into a single report,
+    so harnesses (the CLI's [run] verdict, the chaos fuzzer) apply exactly
+    the same standard.
+
+    Fault tolerance shapes what counts as a violation:
+
+    - Undecided transactions are allowed (a crashed origin legitimately
+      strands its in-flight clients); [require_all_decided] restores the
+      strict liveness reading for fault-free runs.
+    - A read-only transaction aborted with [View_change] or [Timeout] is a
+      refusal at a down/rejoining site, not a broken guarantee; only
+      conflict-class aborts ([Write_conflict], [Certification],
+      [Deadlock_victim]) of read-only transactions violate "read-only
+      transactions are never aborted".
+    - Deadlock-victim aborts are violations only when [deadlock_free] is
+      set (true for the paper's three broadcast protocols, false for the
+      blocking baseline). *)
+
+type report = {
+  serialization : Serialization.violation list;
+  divergences : Convergence.divergence list;
+  ro_conflict_aborts : Db.Txn_id.t list;
+      (** read-only transactions aborted for a conflict-class reason *)
+  deadlock_aborts : Db.Txn_id.t list;
+      (** empty unless checked with [deadlock_free:true] *)
+  undecided : int;
+      (** informational, or a violation under [require_all_decided] *)
+  all_decided_required : bool;
+}
+
+val check_execution :
+  ?require_all_decided:bool ->
+  ?deadlock_free:bool ->
+  history:History.t ->
+  stores:(Net.Site_id.t * Db.Version_store.t) list ->
+  unit ->
+  report
+(** Defaults: [require_all_decided:false], [deadlock_free:true]. *)
+
+val ok : report -> bool
+(** No violation under the report's own settings. *)
+
+val pp : Format.formatter -> report -> unit
+(** Multi-line human-readable account of every violation (or ["ok"]). *)
+
+val summary : report -> string
+(** One line, stable across runs — harness log material, e.g.
+    ["FAIL serialization=2 divergence=1 ro-aborts=0 deadlocks=0 undecided=3"]. *)

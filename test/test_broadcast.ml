@@ -59,6 +59,44 @@ let test_fifo_fast_forward () =
   Alcotest.(check (list (pair int string))) "ff no-op backwards" []
     (Broadcast.Fifo_state.fast_forward f ~origin:0 ~next_seq:2)
 
+let test_fifo_out_of_order_beyond_one_gap () =
+  (* Arrivals 4, 2, 0, 1, 3: each gap fill releases exactly the contiguous
+     run it completes, never a buffered message past the next gap. *)
+  let f = Broadcast.Fifo_state.create () in
+  (match Broadcast.Fifo_state.offer f ~origin:0 ~seq:4 "e" with
+  | Broadcast.Fifo_state.Buffered -> ()
+  | _ -> Alcotest.fail "4 buffers");
+  (match Broadcast.Fifo_state.offer f ~origin:0 ~seq:2 "c" with
+  | Broadcast.Fifo_state.Buffered -> ()
+  | _ -> Alcotest.fail "2 buffers");
+  (match Broadcast.Fifo_state.offer f ~origin:0 ~seq:0 "a" with
+  | Broadcast.Fifo_state.Ready [ (0, "a") ] -> ()
+  | _ -> Alcotest.fail "0 releases only itself: 1 is still missing");
+  (match Broadcast.Fifo_state.offer f ~origin:0 ~seq:1 "b" with
+  | Broadcast.Fifo_state.Ready [ (1, "b"); (2, "c") ] -> ()
+  | _ -> Alcotest.fail "1 releases the run up to the next gap");
+  (match Broadcast.Fifo_state.offer f ~origin:0 ~seq:3 "d" with
+  | Broadcast.Fifo_state.Ready [ (3, "d"); (4, "e") ] -> ()
+  | _ -> Alcotest.fail "3 releases the tail");
+  check_int "nothing pending" 0 (Broadcast.Fifo_state.pending_count f)
+
+let test_fifo_purge () =
+  let f = Broadcast.Fifo_state.create () in
+  ignore (Broadcast.Fifo_state.offer f ~origin:0 ~seq:0 "a");
+  ignore (Broadcast.Fifo_state.offer f ~origin:0 ~seq:2 "stale-c");
+  ignore (Broadcast.Fifo_state.offer f ~origin:1 ~seq:5 "other");
+  Broadcast.Fifo_state.purge f ~origin:0;
+  check_int "only the other origin's buffer survives" 1
+    (Broadcast.Fifo_state.pending_count f);
+  check_int "expected counter untouched" 1
+    (Broadcast.Fifo_state.expected f ~origin:0);
+  (* The next incarnation reuses sequence numbers: after a re-base the old
+     buffered copy must not resurrect in place of the fresh one. *)
+  ignore (Broadcast.Fifo_state.fast_forward f ~origin:0 ~next_seq:2);
+  match Broadcast.Fifo_state.offer f ~origin:0 ~seq:2 "fresh-c" with
+  | Broadcast.Fifo_state.Ready [ (2, "fresh-c") ] -> ()
+  | _ -> Alcotest.fail "fresh incarnation message delivers, not the stale copy"
+
 (* ------------------------------------------------------------------ *)
 (* Delay_queue *)
 
@@ -106,6 +144,39 @@ let test_delay_fast_forward () =
   let released = Broadcast.Delay_queue.fast_forward q ~origin:0 ~count:2 in
   Alcotest.(check (list string)) "unblocked by jump" [ "needs-2" ]
     (List.map (fun r -> r.Broadcast.Delay_queue.payload) released)
+
+let test_delay_duplicate_while_gapped () =
+  (* A duplicate of a buffered message is suppressed even while the gap
+     that blocks it is still open, and the eventual gap fill releases a
+     single copy. *)
+  let q = Broadcast.Delay_queue.create ~n:2 in
+  (match Broadcast.Delay_queue.offer q ~origin:1 ~vc:(vc [ 1; 1 ]) "m2" with
+  | Broadcast.Delay_queue.Buffered -> ()
+  | _ -> Alcotest.fail "m2 waits for site 0's m1");
+  (match Broadcast.Delay_queue.offer q ~origin:1 ~vc:(vc [ 1; 1 ]) "m2" with
+  | Broadcast.Delay_queue.Duplicate -> ()
+  | _ -> Alcotest.fail "redelivery while blocked is a duplicate");
+  match Broadcast.Delay_queue.offer q ~origin:0 ~vc:(vc [ 1; 0 ]) "m1" with
+  | Broadcast.Delay_queue.Ready rs ->
+    Alcotest.(check (list string)) "one copy each" [ "m1"; "m2" ]
+      (List.map (fun r -> r.Broadcast.Delay_queue.payload) rs)
+  | _ -> Alcotest.fail "gap fill releases both"
+
+let test_delay_purge () =
+  let q = Broadcast.Delay_queue.create ~n:2 in
+  ignore (Broadcast.Delay_queue.offer q ~origin:0 ~vc:(vc [ 1; 0 ]) "live");
+  ignore (Broadcast.Delay_queue.offer q ~origin:1 ~vc:(vc [ 9; 1 ]) "doomed");
+  Broadcast.Delay_queue.purge q ~origin:1;
+  check_int "buffered entry dropped" 0 (Broadcast.Delay_queue.pending_count q);
+  Alcotest.(check (list int)) "delivered counts untouched" [ 1; 0 ]
+    (Array.to_list (Vc.to_array (Broadcast.Delay_queue.delivered_vc q)));
+  (* The origin's next incarnation restarts its sequence numbers from the
+     agreed cut; the purged copy must not shadow the fresh stream. *)
+  match Broadcast.Delay_queue.offer q ~origin:1 ~vc:(vc [ 1; 1 ]) "fresh" with
+  | Broadcast.Delay_queue.Ready [ r ] ->
+    Alcotest.(check string) "fresh incarnation delivers" "fresh"
+      r.Broadcast.Delay_queue.payload
+  | _ -> Alcotest.fail "fresh incarnation message must deliver"
 
 let test_delay_dimension_check () =
   let q = Broadcast.Delay_queue.create ~n:2 in
@@ -560,6 +631,26 @@ let test_partition_majority_primary () =
     (not (List.mem "maj" (List.map (fun r -> r.r_payload) (per_site log 3))))
 
 
+let test_delivery_survives_sender_crash () =
+  (* A datagram leaves its source at send time: a broadcast followed
+     immediately by the sender's crash still reaches every other up site
+     (the physical broadcast is all-or-nothing at the send instant). *)
+  let engine, group, log = setup () in
+  let eps = Ep.endpoints group in
+  Sim.Engine.run_until engine (Sim.Time.of_ms 10);
+  ignore (Ep.broadcast eps.(0) `Reliable "last-words");
+  Ep.crash group 0;
+  Sim.Engine.run_until engine (Sim.Time.of_ms 60);
+  List.iter
+    (fun s ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "site %d delivers the crashed sender's message" s)
+        [ "last-words" ]
+        (List.map (fun r -> r.r_payload) (per_site log s)))
+    [ 1; 2; 3 ];
+  Alcotest.(check (list string)) "the crashed sender itself delivers nothing"
+    [] (List.map (fun r -> r.r_payload) (per_site log 0))
+
 let test_partition_minority_never_orders () =
   (* a total broadcast issued inside a minority partition must not be
      delivered anywhere — ordering is a commitment the minority cannot make *)
@@ -663,6 +754,9 @@ let () =
           tc "duplicates" `Quick test_fifo_duplicates;
           tc "origins independent" `Quick test_fifo_origins_independent;
           tc "fast forward" `Quick test_fifo_fast_forward;
+          tc "out of order beyond one gap" `Quick
+            test_fifo_out_of_order_beyond_one_gap;
+          tc "purge" `Quick test_fifo_purge;
         ] );
       ( "delay_queue",
         [
@@ -670,6 +764,8 @@ let () =
           tc "same-origin fifo" `Quick test_delay_same_origin_fifo;
           tc "duplicates" `Quick test_delay_duplicates;
           tc "fast forward" `Quick test_delay_fast_forward;
+          tc "duplicate while gapped" `Quick test_delay_duplicate_while_gapped;
+          tc "purge" `Quick test_delay_purge;
           tc "dimension check" `Quick test_delay_dimension_check;
           QCheck_alcotest.to_alcotest prop_delay_causal;
         ] );
@@ -703,6 +799,8 @@ let () =
           tc "join catches up" `Quick test_join_rejoins_and_catches_up;
           tc "joiner can broadcast" `Quick test_joiner_can_broadcast_after_join;
           tc "partition: majority stays primary" `Quick test_partition_majority_primary;
+          tc "delivery survives sender crash" `Quick
+            test_delivery_survives_sender_crash;
           tc "partition: minority never orders" `Quick test_partition_minority_never_orders;
         ] );
       ( "total_lamport",

@@ -342,6 +342,207 @@ let test_log_replay_gap () =
     (Invalid_argument "Redo_log.replay: log indices not contiguous") (fun () ->
       ignore (Db.Redo_log.replay log))
 
+(* ------------------------------------------------------------------ *)
+(* Strict-2PL property test: ~1k random acquire / release-all (commit or
+   abort) steps per script, over a handful of hot keys, checked against the
+   invariants the replica-control protocols rely on:
+
+   - a writer holding a key excludes every other holder;
+   - holders and waiters of a key are disjoint;
+   - release-all leaves the transaction with no lock held or queued;
+   - wakeup is strict FIFO: a release promotes a prefix of the old wait
+     queue, never a transaction behind one that is still waiting;
+   - shared requests are never refused (the rule behind "read-only
+     transactions are never aborted");
+   - under [No_wait], exclusive requests never queue, and the waits-for
+     graph stays acyclic (the paper's deadlock-prevention claim);
+   - under [Wait], any deadlock cycle is broken by aborting victims. *)
+
+type lock_op =
+  | Op_acquire of int * int * Lm.mode  (* slot, key, mode *)
+  | Op_release of int  (* slot: commit or abort — release everything *)
+
+let lock_slots = 12
+let lock_keys = 8
+
+let gen_lock_script =
+  QCheck.Gen.(
+    list_size (return 1000)
+      (frequency
+         [
+           ( 4,
+             map3
+               (fun s k m -> Op_acquire (s, k, m))
+               (int_bound (lock_slots - 1))
+               (int_bound (lock_keys - 1))
+               (map (fun b -> if b then Lm.Shared else Lm.Exclusive) bool) );
+           (1, map (fun s -> Op_release s) (int_bound (lock_slots - 1)));
+         ]))
+
+let pp_lock_op ppf = function
+  | Op_acquire (s, k, m) ->
+    Format.fprintf ppf "acquire slot=%d key=%d %s" s k
+      (match m with Lm.Shared -> "S" | Lm.Exclusive -> "X")
+  | Op_release s -> Format.fprintf ppf "release slot=%d" s
+
+let arb_lock_script =
+  QCheck.make gen_lock_script
+    ~print:
+      (Format.asprintf "%a"
+         (Format.pp_print_list ~pp_sep:Format.pp_force_newline pp_lock_op))
+
+let lock_invariants lm =
+  for k = 0 to lock_keys - 1 do
+    let holders = Lm.holders lm k in
+    let writers = List.filter (fun (_, m) -> m = Lm.Exclusive) holders in
+    if writers <> [] && List.length holders > 1 then
+      QCheck.Test.fail_reportf "key %d: writer shares the key" k;
+    (* A transaction may appear on both sides of a key only as an upgrade in
+       progress: it holds [Shared] and queues for [Exclusive]. *)
+    let waiting = Lm.waiters lm k in
+    List.iter
+      (fun (h, hm) ->
+        List.iter
+          (fun (w, wm) ->
+            if Txn.equal h w && not (hm = Lm.Shared && wm = Lm.Exclusive) then
+              QCheck.Test.fail_reportf
+                "key %d: %a both holds and waits (not an upgrade)" k Txn.pp h)
+          waiting)
+      holders
+  done
+
+let lock_script_runs ~policy ops =
+  (* The no-deadlock claim for [No_wait] assumes the broadcast protocols'
+     usage: read-only transactions take only shared locks and updaters only
+     exclusive ones (a reader holding a write lock elsewhere could close a
+     reader-blocked-on-writer cycle, but the protocols never create such a
+     transaction). Enforce that discipline by slot under [No_wait]; [Wait]
+     scripts keep mixed modes — their deadlocks are expected and broken. *)
+  let effective_mode slot m =
+    match policy with
+    | Lm.Wait -> m
+    | Lm.No_wait -> if slot < lock_slots / 2 then Lm.Shared else Lm.Exclusive
+  in
+  (* Grant events, most recent first; reset around each release to observe
+     exactly what that release promoted. *)
+  let granted = ref [] in
+  let lm =
+    Lm.create ~policy ~on_grant:(fun t k m -> granted := (t, k, m) :: !granted)
+  in
+  (* Strict 2PL: a transaction never acquires after releasing, so each
+     release retires the slot's transaction and a fresh one takes over. *)
+  let generation = Array.make lock_slots 0 in
+  let slot_txn s =
+    Txn.make ~origin:(s mod 4) ~local:((generation.(s) * lock_slots) + s)
+  in
+  let release slot =
+    let t = slot_txn slot in
+    let old_waiters = Array.init lock_keys (fun k -> Lm.waiters lm k) in
+    granted := [];
+    Lm.release_all lm t;
+    generation.(slot) <- generation.(slot) + 1;
+    if Lm.held_keys lm t <> [] then
+      QCheck.Test.fail_reportf "%a still holds after release-all" Txn.pp t;
+    for k = 0 to lock_keys - 1 do
+      if List.exists (fun (h, _) -> Txn.equal h t) (Lm.holders lm k) then
+        QCheck.Test.fail_reportf "%a still a holder of %d" Txn.pp t k;
+      if List.exists (fun (w, _) -> Txn.equal w t) (Lm.waiters lm k) then
+        QCheck.Test.fail_reportf "%a still queued on %d" Txn.pp t k;
+      (* FIFO wakeup: what this release promoted on key k must be a prefix
+         of the old queue (with the released transaction taken out) — no
+         overtaking. *)
+      let promoted =
+        List.rev !granted
+        |> List.filter_map (fun (pt, pk, _) -> if pk = k then Some pt else None)
+      in
+      let old_q =
+        List.filter_map
+          (fun (w, _) -> if Txn.equal w t then None else Some w)
+          old_waiters.(k)
+      in
+      let rec is_prefix p q =
+        match (p, q) with
+        | [], _ -> true
+        | ph :: pr, qh :: qr -> Txn.equal ph qh && is_prefix pr qr
+        | _ :: _, [] -> false
+      in
+      if not (is_prefix promoted old_q) then
+        QCheck.Test.fail_reportf "key %d: wakeup overtook the queue" k;
+      List.iter
+        (fun pt ->
+          if not (List.exists (fun (h, _) -> Txn.equal h pt) (Lm.holders lm k))
+          then QCheck.Test.fail_reportf "key %d: promoted but not holding" k)
+        promoted
+    done
+  in
+  List.iter
+    (fun op ->
+      (match op with
+      | Op_acquire (s, k, m) -> begin
+        let m = effective_mode s m in
+        let t = slot_txn s in
+        match (Lm.acquire lm ~txn:t k m, m, policy) with
+        | Lm.Refused, Lm.Shared, _ ->
+          QCheck.Test.fail_reportf "shared request refused on key %d" k
+        | Lm.Queued, Lm.Exclusive, Lm.No_wait ->
+          QCheck.Test.fail_reportf "no-wait writer queued on key %d" k
+        | Lm.Refused, _, Lm.Wait ->
+          QCheck.Test.fail_reportf "refused under wait policy (key %d)" k
+        | Lm.Granted, _, _ ->
+          if not (Lm.holds lm ~txn:t k m || Lm.holds lm ~txn:t k Lm.Exclusive)
+          then QCheck.Test.fail_reportf "granted but not held (key %d)" k
+        | (Lm.Queued | Lm.Refused), _, _ -> ()
+      end
+      | Op_release s -> release s);
+      (match policy with
+      | Lm.No_wait -> begin
+        match Db.Deadlock.find_cycle (Lm.waits_for_edges lm) with
+        | Some _ -> QCheck.Test.fail_reportf "no-wait produced a deadlock"
+        | None -> ()
+      end
+      | Lm.Wait -> begin
+        (* Break any deadlock the way the baseline protocol does: abort the
+           victim; the cycle must clear within |cycle| abortions. *)
+        let rec break budget =
+          match Db.Deadlock.find_cycle (Lm.waits_for_edges lm) with
+          | Some cycle when budget > 0 ->
+            let victim = Db.Deadlock.choose_victim cycle in
+            let slot =
+              (* victims are always live generation txns of some slot *)
+              match
+                List.find_opt
+                  (fun s -> Txn.equal (slot_txn s) victim)
+                  (List.init lock_slots Fun.id)
+              with
+              | Some s -> s
+              | None ->
+                QCheck.Test.fail_reportf "victim %a not live" Txn.pp victim
+            in
+            release slot;
+            break (budget - 1)
+          | Some _ -> QCheck.Test.fail_reportf "deadlock would not clear"
+          | None -> ()
+        in
+        break lock_slots
+      end);
+      lock_invariants lm)
+    ops;
+  (* Drain: after releasing every live transaction nothing may linger. *)
+  List.iter (fun s -> release s) (List.init lock_slots Fun.id);
+  if Lm.active_txns lm <> [] then
+    QCheck.Test.fail_reportf "transactions linger after global release";
+  true
+
+let prop_strict_2pl_no_wait =
+  QCheck.Test.make ~name:"strict 2PL invariants under no-wait scripts"
+    ~count:25 arb_lock_script
+    (lock_script_runs ~policy:Lm.No_wait)
+
+let prop_strict_2pl_wait =
+  QCheck.Test.make ~name:"strict 2PL invariants under wait scripts (deadlocks broken)"
+    ~count:25 arb_lock_script
+    (lock_script_runs ~policy:Lm.Wait)
+
 (* Txn ids *)
 
 let test_txn_id_order () =
@@ -378,6 +579,8 @@ let () =
           tc "release removes queued" `Quick test_release_removes_queued;
           tc "held keys" `Quick test_held_keys;
           QCheck_alcotest.to_alcotest prop_nowait_no_deadlock;
+          QCheck_alcotest.to_alcotest prop_strict_2pl_no_wait;
+          QCheck_alcotest.to_alcotest prop_strict_2pl_wait;
           tc "wait policy can deadlock (sanity)" `Quick test_wait_policy_can_deadlock;
         ] );
       ( "deadlock",

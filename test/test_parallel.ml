@@ -118,6 +118,28 @@ let test_experiments_identical_across_pool_sizes () =
   let parallel = with_jobs 4 render in
   check_bool "byte-identical tables" true (String.equal sequential parallel)
 
+let test_fuzz_identical_across_pool_sizes () =
+  (* The chaos harness makes the same promise as Experiments.all: a fuzz
+     outcome — including failure blocks and shrunk repro lines, which is
+     why the planted bug is on — renders the same bytes whatever the pool
+     size. *)
+  let cfg =
+    {
+      Chaos.default_cfg with
+      Chaos.txns_per_site = 20;
+      planted_bug = true;
+      shrink_budget = 16;
+    }
+  in
+  let seeds = [ 0; 1; 2; 3 ] in
+  let render () = Chaos.render (Chaos.fuzz cfg ~seeds) in
+  let sequential = with_jobs 1 render in
+  let parallel = with_jobs 8 render in
+  check_bool "fuzz report has failures to compare" true
+    (String.length sequential > String.length "fuzz:");
+  check_bool "byte-identical fuzz reports" true
+    (String.equal sequential parallel)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "parallel"
@@ -138,5 +160,7 @@ let () =
           tc "runner run on pool" `Slow test_parallel_runs_deterministic;
           tc "experiments byte-identical vs pool size" `Slow
             test_experiments_identical_across_pool_sizes;
+          tc "fuzz byte-identical vs pool size" `Slow
+            test_fuzz_identical_across_pool_sizes;
         ] );
     ]
