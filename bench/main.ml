@@ -15,6 +15,7 @@ let tables_only = Array.exists (( = ) "--tables-only") Sys.argv
 let micro_only = Array.exists (( = ) "--micro-only") Sys.argv
 let markdown = Array.exists (( = ) "--markdown") Sys.argv
 let no_json = Array.exists (( = ) "--no-json") Sys.argv
+let gate_obs = Array.exists (( = ) "--gate-obs") Sys.argv
 
 (* ------------------------------------------------------------------ *)
 (* Paper tables, timed per experiment *)
@@ -76,6 +77,7 @@ let bench_lock_cycle () =
     let lm =
       Db.Lock_manager.create ~policy:Db.Lock_manager.No_wait
         ~on_grant:(fun _ _ _ -> ())
+        ()
     in
     ignore (Db.Lock_manager.acquire lm ~txn:(txn 1) 1 Db.Lock_manager.Exclusive);
     ignore (Db.Lock_manager.acquire lm ~txn:(txn 2) 1 Db.Lock_manager.Exclusive);
@@ -127,6 +129,19 @@ let bench_order_state () =
       ignore (Broadcast.Order_state.note_order o (mid i) ~global_seq:i)
     done
 
+let bench_obs_disabled () =
+  (* E13's guard: every protocol is instrumented, so disabled-mode
+     observability must stay a single predictable branch per call *)
+  let obs = Obs.Recorder.none in
+  let c = Obs.Registry.counter (Obs.Recorder.registry obs) ~name:"bench" () in
+  let h = Obs.Registry.hist (Obs.Recorder.registry obs) ~name:"bench" () in
+  fun () ->
+    for i = 1 to 100 do
+      Obs.Registry.incr c;
+      Obs.Registry.observe h (float_of_int i);
+      Obs.Recorder.submit obs ~at:(Sim.Time.of_us i) ~site:0 ~origin:0 ~local:i
+    done
+
 let bench_fault_plan () =
   (* The fuzz loop's per-seed overhead: derive a schedule and compile it
      into engine events. Must stay negligible next to the run itself. *)
@@ -149,6 +164,7 @@ let run_micro () =
         stage "e7: apply 20 write sets" bench_store_apply;
         stage "e8: snapshot read (10 keys)" bench_snapshot_read;
         stage "e9: total-order bookkeeping (16 msgs)" bench_order_state;
+        stage "e13: obs disabled (300 calls)" bench_obs_disabled;
         stage "fuzz: fault plan generate+compile" bench_fault_plan;
       ]
   in
@@ -254,7 +270,44 @@ let write_bench_json ~experiments ~micro ~total_wall =
   close_out oc;
   Printf.printf "\nwrote %s\n" file
 
+(* ------------------------------------------------------------------ *)
+(* --gate-obs: CI overhead gate on disabled-mode instrumentation. A wall
+   clock over a big loop (not Bechamel: the gate needs a stable pass/fail,
+   not an estimate) with a bound loose enough for CI noise and tight enough
+   to catch an accidental allocation or table lookup on the disabled path. *)
+
+let run_gate_obs () =
+  let obs = Obs.Recorder.none in
+  let c = Obs.Registry.counter (Obs.Recorder.registry obs) ~name:"gate" () in
+  let h = Obs.Registry.hist (Obs.Recorder.registry obs) ~name:"gate" () in
+  let iters = 5_000_000 in
+  for i = 1 to 100_000 do
+    (* warm-up *)
+    Obs.Registry.incr c;
+    Obs.Registry.observe h (float_of_int i)
+  done;
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to iters do
+    Obs.Registry.incr c;
+    Obs.Registry.observe h (float_of_int i);
+    Obs.Recorder.submit obs ~at:(Sim.Time.of_us i) ~site:0 ~origin:0 ~local:i
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let calls = 3 * iters in
+  let ns = wall *. 1e9 /. float_of_int calls in
+  let bound = 50.0 in
+  Printf.printf "obs disabled-mode overhead: %.2f ns/call (%d calls)\n" ns calls;
+  if ns > bound then begin
+    Printf.printf "GATE FAIL: over the %.0f ns/call bound\n" bound;
+    exit 1
+  end;
+  Printf.printf "GATE OK: under the %.0f ns/call bound\n" bound
+
 let () =
+  if gate_obs then begin
+    run_gate_obs ();
+    exit 0
+  end;
   Printf.printf
     "bcastdb benchmark harness -- reproduces the evaluation of\n\
      \"Using Broadcast Primitives in Replicated Databases\" (ICDCS 1998).\n\

@@ -9,11 +9,34 @@
 
 open Cmdliner
 
+(* Validate and write the lifecycle trace a traced run recorded; a
+   structurally broken trace is a bug, not a report. *)
+let export_trace (r : Exper.Runner.result) path =
+  let events = Obs.Recorder.events r.Exper.Runner.recorder in
+  (match Obs.Export.validate events with
+  | Ok () -> ()
+  | Error e ->
+    Printf.eprintf "trace: INVALID (%s)\n" e;
+    exit 1);
+  Obs.Export.write_file ~path events;
+  Printf.printf "trace          : %d span events -> %s\n" (List.length events)
+    path
+
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "export the transaction lifecycle trace: .jsonl gets JSON Lines, \
+           anything else Chrome trace-event JSON (open in Perfetto). \
+           Implies span collection.")
+
 (* ------------------------------------------------------------------ *)
 (* run *)
 
 let run_cmd protocol n_sites txns mpl seed ro_fraction theta n_keys reads writes
-    ack_delay_ms no_ack early batch flood loss_rate verbose =
+    ack_delay_ms no_ack early batch flood loss_rate verbose trace =
   match Repdb.Protocol.of_name protocol with
   | None ->
     Printf.eprintf "unknown protocol %S (try: baseline reliable causal atomic)\n"
@@ -46,7 +69,7 @@ let run_cmd protocol n_sites txns mpl seed ro_fraction theta n_keys reads writes
     in
     let spec =
       Exper.Runner.spec ~config ~profile ~txns_per_site:txns ~mpl ~seed ~n_sites
-        proto
+        ~collect_spans:(trace <> None) proto
     in
     let r = Exper.Runner.run spec in
     Printf.printf "protocol       : %s\n" r.Exper.Runner.protocol_name;
@@ -71,6 +94,7 @@ let run_cmd protocol n_sites txns mpl seed ro_fraction theta n_keys reads writes
         (fun (cat, count) -> Printf.printf "  %-10s %d\n" cat count)
         r.Exper.Runner.per_category;
     Printf.printf "deadlocks      : %d\n" r.Exper.Runner.deadlocks;
+    Option.iter (export_trace r) trace;
     let ser = Exper.Runner.one_copy_serializable r in
     let conv = Exper.Runner.converged r in
     Printf.printf "1-copy serializable: %b\nreplicas converged : %b\n" ser conv;
@@ -120,7 +144,7 @@ let run_term =
   Term.(
     const run_cmd $ protocol $ n_sites $ txns $ mpl $ seed $ ro_fraction
     $ theta $ n_keys $ reads $ writes $ ack_delay_ms $ no_ack $ early $ batch
-    $ flood $ loss_rate $ verbose)
+    $ flood $ loss_rate $ verbose $ trace_file)
 
 (* ------------------------------------------------------------------ *)
 (* exper *)
@@ -175,7 +199,7 @@ let exper_term = Term.(const exper_cmd $ which $ quick $ markdown $ exper_jobs)
 (* fuzz *)
 
 let fuzz_cmd n_seeds seed_start jobs txns episodes protocol_names planted_bug
-    replay =
+    replay trace =
   (match jobs with Some n -> Parallel.set_jobs (Some n) | None -> ());
   let protocols =
     match protocol_names with
@@ -206,9 +230,16 @@ let fuzz_cmd n_seeds seed_start jobs txns episodes protocol_names planted_bug
       Printf.eprintf "bad repro line: %s\n" e;
       exit 2
     | Ok case ->
-      let result = Exper.Runner.run (Chaos.spec_of_case cfg case) in
+      let spec =
+        {
+          (Chaos.spec_of_case cfg case) with
+          Exper.Runner.collect_spans = trace <> None;
+        }
+      in
+      let result = Exper.Runner.run spec in
       let report = Exper.Runner.check_execution result in
       Format.printf "%s@.%a@." (Chaos.repro case) Verify.Check.pp report;
+      Option.iter (export_trace result) trace;
       (* On divergence, show how the write order of each disputed key
          differed between the two sites — the raw material for diagnosis. *)
       let history = result.Exper.Runner.history in
@@ -300,7 +331,7 @@ let fuzz_replay =
 let fuzz_term =
   Term.(
     const fuzz_cmd $ fuzz_seeds $ fuzz_seed_start $ fuzz_jobs $ fuzz_txns
-    $ fuzz_episodes $ fuzz_protocols $ fuzz_planted $ fuzz_replay)
+    $ fuzz_episodes $ fuzz_protocols $ fuzz_planted $ fuzz_replay $ trace_file)
 
 (* ------------------------------------------------------------------ *)
 (* list *)

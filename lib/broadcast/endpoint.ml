@@ -112,6 +112,13 @@ type 'a t = {
   mutable pending_sync : 'a sync_state option;
   mutable pending_join : 'a join_state option;
   mutable joining : bool;  (* this site is waiting for a join commit *)
+  (* metrics handles, resolved once at construction; disabled handles cost
+     one branch per event *)
+  c_bcast_r : Obs.Registry.counter;
+  c_bcast_c : Obs.Registry.counter;
+  c_bcast_t : Obs.Registry.counter;
+  c_deliver : Obs.Registry.counter;
+  c_view : Obs.Registry.counter;
 }
 
 and 'a group = {
@@ -171,6 +178,10 @@ let broadcast_wire ?(include_self = true) t wire =
   Net.Network.send_all t.group.g_net ~src:t.me ~include_self wire
 
 let broadcast_payload t cls payload ~joiner_floor =
+  (match cls with
+  | `Reliable -> Obs.Registry.incr t.c_bcast_r
+  | `Causal -> Obs.Registry.incr t.c_bcast_c
+  | `Total -> Obs.Registry.incr t.c_bcast_t);
   match cls with
   | `Reliable ->
     let id = { Msg_id.origin = t.me; cls = Msg_id.Reliable; seq = t.sent_r } in
@@ -215,6 +226,7 @@ let remember_recent t ~origin entry =
 let rec app_deliver t ~id ~vc ~global_seq payload =
   match payload with
   | User user ->
+    Obs.Registry.incr t.c_deliver;
     remember_recent t ~origin:id.Msg_id.origin { e_id = id; e_vc = vc; e_payload = user };
     (match t.deliver_cb with
     | Some cb -> cb { id; vc; global_seq; payload = user }
@@ -326,6 +338,7 @@ and member_apply_join_commit t jc =
 
 and install_view t v =
   if not (View.equal t.view v) then begin
+    Obs.Registry.incr t.c_view;
     let was_coordinator = Site_id.equal (View.coordinator t.view) t.me in
     let removed =
       List.filter (fun s -> not (View.mem v s)) (View.members_list t.view)
@@ -746,7 +759,7 @@ let recover group s =
 
 let create_group (type a) engine ~n ~latency ?(classify = fun (_ : a) -> "app")
     ?(hb_interval = Sim.Time.of_ms 50) ?(suspect_after = Sim.Time.of_ms 200)
-    ?(flood = false) ?loss () : a group =
+    ?(flood = false) ?loss ?(obs = Obs.Registry.disabled) () : a group =
   let net =
     Net.Network.create engine ~n ~latency ~classify:(classify_wire classify)
       ?loss ()
@@ -763,6 +776,11 @@ let create_group (type a) engine ~n ~latency ?(classify = fun (_ : a) -> "app")
     }
   in
   let make_endpoint me =
+    let counter name =
+      Obs.Registry.counter obs ~name
+        ~labels:[ ("site", string_of_int me) ]
+        ()
+    in
     {
       group;
       me;
@@ -791,6 +809,11 @@ let create_group (type a) engine ~n ~latency ?(classify = fun (_ : a) -> "app")
       pending_sync = None;
       pending_join = None;
       joining = false;
+      c_bcast_r = counter "bcast_reliable";
+      c_bcast_c = counter "bcast_causal";
+      c_bcast_t = counter "bcast_total";
+      c_deliver = counter "app_deliver";
+      c_view = counter "view_change";
     }
   in
   group.g_eps <- Array.init n make_endpoint;

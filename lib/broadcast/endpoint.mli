@@ -51,6 +51,7 @@ val create_group :
   ?suspect_after:Sim.Time.t ->
   ?flood:bool ->
   ?loss:Net.Network.loss ->
+  ?obs:Obs.Registry.t ->
   unit ->
   'a group
 (** [classify] labels application payloads for message accounting.
@@ -59,7 +60,9 @@ val create_group :
     makes receivers relay first-seen application messages, modelling
     gossip-style reliable broadcast; the simulator's physical broadcast is
     atomic at send time, so flooding is about cost modelling, not
-    correctness. *)
+    correctness. [obs] (default disabled) receives per-site
+    [bcast_reliable]/[bcast_causal]/[bcast_total], [app_deliver] and
+    [view_change] counters. *)
 
 val endpoints : 'a group -> 'a t array
 val stats : 'a group -> Net.Net_stats.t

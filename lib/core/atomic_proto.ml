@@ -46,6 +46,9 @@ type t = {
   sites : site_state array;
 }
 
+let obs t = t.config.Config.obs
+let now t = Sim.Engine.now t.engine
+
 let net_stats t = Endpoint.stats t.group
 let store t s = Site_core.store t.sites.(s).core
 let log t s = Site_core.log t.sites.(s).core
@@ -111,10 +114,15 @@ let handle_commit_req t st ~txn ~read_versions ~batched_writes =
     Db.Redo_log.append (Site_core.log st.core) ~txn ~writes ~index;
     History.record_apply t.history ~site txn;
     Txn_id.Tbl.remove st.buffers txn;
+    (* The decision point is the total-order delivery itself; at the origin
+       this also closes the broadcast span. *)
+    Obs_hooks.decide (obs t) ~now:(now t) ~site txn ~committed:true;
+    Obs_hooks.apply (obs t) ~now:(now t) ~site txn;
     finish_at_origin t st txn History.Committed
   end
   else begin
     Txn_id.Tbl.remove st.buffers txn;
+    Obs_hooks.decide (obs t) ~now:(now t) ~site txn ~committed:false;
     finish_at_origin t st txn (History.Aborted History.Certification)
   end
 
@@ -169,12 +177,15 @@ let create engine config ~history =
       ~latency:config.Config.latency ~classify
       ~hb_interval:config.Config.hb_interval
       ~suspect_after:config.Config.suspect_after ~flood:config.Config.flood
-      ?loss:config.Config.loss ()
+      ?loss:config.Config.loss
+      ~obs:(Obs.Recorder.registry config.Config.obs)
+      ()
   in
   let make_site site =
     {
       core =
-        Site_core.create engine ~site ~policy:Db.Lock_manager.No_wait ~history;
+        Site_core.create ~obs:config.Config.obs engine ~site
+          ~policy:Db.Lock_manager.No_wait ~history;
       ep = (Endpoint.endpoints group).(site);
       buffers = Txn_id.Tbl.create 64;
       orig = Txn_id.Tbl.create 64;
@@ -205,8 +216,10 @@ let submit t ~origin spec ~on_done =
   st.next_local <- st.next_local + 1;
   let txn = Txn_id.make ~origin ~local:st.next_local in
   History.begin_txn t.history txn ~origin;
+  Obs_hooks.submit (obs t) ~now:(now t) ~site:origin txn;
   if not (Endpoint.is_ready st.ep) then begin
     (* The site is down or mid-join: reject rather than act on stale state. *)
+    Obs_hooks.decide (obs t) ~now:(now t) ~site:origin txn ~committed:false;
     History.record_outcome t.history txn (History.Aborted History.View_change);
     on_done (History.Aborted History.View_change);
     txn
@@ -225,6 +238,7 @@ let submit t ~origin spec ~on_done =
           ~from:(Db.Version_store.writer_at store ~index key))
       spec.Op.reads;
     History.record_writes t.history txn [];
+    Obs_hooks.decide (obs t) ~now:(now t) ~site:origin txn ~committed:true;
     finish_at_origin t st txn History.Committed
   end
   else begin
@@ -243,6 +257,9 @@ let submit t ~origin spec ~on_done =
     in
     let writes = Op.write_set spec ~read_results in
     History.record_writes t.history txn writes;
+    (* No lock-wait or vote phase: the span runs from broadcast to the
+       total-order delivery that certifies (closed by [decide] there). *)
+    Obs_hooks.phase (obs t) ~now:(now t) ~site:origin txn Obs.Span.Broadcast;
     if t.config.Config.atomic_batch_writes then
       ignore
         (Endpoint.broadcast st.ep `Total

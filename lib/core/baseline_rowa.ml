@@ -54,6 +54,9 @@ type t = {
   mutable deadlocks : int;
 }
 
+let obs t = t.config.Config.obs
+let now t = Sim.Engine.now t.engine
+
 let net_stats t = Net.Network.stats t.net
 let store t s = Site_core.store t.sites.(s).core
 let log t s = Site_core.log t.sites.(s).core
@@ -85,6 +88,7 @@ let abort_at t ~site txn ~reason =
   if not p.p_decided then begin
     p.p_decided <- true;
     Site_core.abort_local st.core ~txn;
+    Obs_hooks.decide (obs t) ~now:(now t) ~site txn ~committed:false;
     match Txn_id.Tbl.find_opt st.orig txn with
     | Some o when not o.o_decided ->
       o.o_decided <- true;
@@ -99,6 +103,8 @@ let commit_at t ~site txn =
   if not p.p_decided then begin
     p.p_decided <- true;
     Site_core.apply_commit st.core ~txn;
+    Obs_hooks.decide (obs t) ~now:(now t) ~site txn ~committed:true;
+    Obs_hooks.apply (obs t) ~now:(now t) ~site txn;
     match Txn_id.Tbl.find_opt st.orig txn with
     | Some o when not o.o_decided ->
       o.o_decided <- true;
@@ -131,6 +137,9 @@ let cast_vote t ~site txn ~yes =
   note_vote t ~site txn ~voter:site ~yes
 
 let start_commit_round t ~site txn =
+  (* At the origin: write dissemination is fully acknowledged, the 2PC
+     vote round starts. *)
+  Obs_hooks.phase (obs t) ~now:(now t) ~site txn Obs.Span.Vote_collect;
   List.iter
     (fun dst -> Net.Network.send t.net ~src:site ~dst (Commit_req { txn }))
     (others t site);
@@ -159,11 +168,15 @@ let write_phase t ~site o read_results =
       p.p_decided <- true;
       o.o_decided <- true;
       Site_core.abort_local st.core ~txn:o.o_txn;  (* releases read locks *)
+      Obs_hooks.decide (obs t) ~now:(now t) ~site o.o_txn ~committed:true;
       History.record_outcome t.history o.o_txn History.Committed;
       o.o_on_done History.Committed
     end
     else begin
       ignore (part_of st o.o_txn);
+      (* Point-to-point write dissemination stands in for the broadcast
+         phase of the group protocols — same column in the breakdown. *)
+      Obs_hooks.phase (obs t) ~now:(now t) ~site o.o_txn Obs.Span.Broadcast;
       let n = t.config.Config.n_sites in
       o.o_outstanding <- List.length writes * n;
       List.iter
@@ -245,7 +258,8 @@ let create engine config ~history =
   let make_site site =
     {
       core =
-        Site_core.create engine ~site ~policy:Db.Lock_manager.Wait ~history;
+        Site_core.create ~obs:config.Config.obs engine ~site
+          ~policy:Db.Lock_manager.Wait ~history;
       orig = Txn_id.Tbl.create 32;
       part = Txn_id.Tbl.create 32;
       next_local = 0;
@@ -285,6 +299,8 @@ let submit t ~origin spec ~on_done =
     }
   in
   Txn_id.Tbl.add st.orig txn o;
+  Obs_hooks.submit (obs t) ~now:(now t) ~site:origin txn;
+  Obs_hooks.phase (obs t) ~now:(now t) ~site:origin txn Obs.Span.Lock_wait;
   Site_core.run_reads st.core ~txn ~keys:spec.Op.reads ~on_done:(fun results ->
       write_phase t ~site:origin o results);
   txn

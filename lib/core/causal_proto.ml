@@ -88,6 +88,9 @@ type t = {
   sites : site_state array;
 }
 
+let obs t = t.config.Config.obs
+let now t = Sim.Engine.now t.engine
+
 let net_stats t = Endpoint.stats t.group
 let store t s = Site_core.store t.sites.(s).core
 let log t s = Site_core.log t.sites.(s).core
@@ -160,6 +163,8 @@ let abort_at t st p ~reason =
     p.p_decided <- true;
     drop_lock_stamps st p.p_txn;
     Site_core.abort_local st.core ~txn:p.p_txn;
+    Obs_hooks.decide (obs t) ~now:(now t) ~site:(Site_core.site st.core)
+      p.p_txn ~committed:false;
     finish_at_origin t st p.p_txn (History.Aborted reason)
   end
 
@@ -171,6 +176,9 @@ let commit_at t st p =
     p.p_decided <- true;
     drop_lock_stamps st p.p_txn;
     Site_core.apply_commit st.core ~txn:p.p_txn;
+    Obs_hooks.decide (obs t) ~now:(now t) ~site:(Site_core.site st.core)
+      p.p_txn ~committed:true;
+    Obs_hooks.apply (obs t) ~now:(now t) ~site:(Site_core.site st.core) p.p_txn;
     finish_at_origin t st p.p_txn History.Committed
   end
 
@@ -289,6 +297,11 @@ let handle_commit_req t st ~txn ~origin ~stamp ~participants =
     tracef txn "site %d: cr participants=[%s]@." (Site_core.site st.core)
       (String.concat "," (List.map string_of_int participants));
     p.p_participants <- Site_id.Set.of_list participants;
+    (* The origin's broadcast phase ends when its own commit request comes
+       back; from here it is waiting for implicit acknowledgments. *)
+    if Site_core.site st.core = txn.Txn_id.origin then
+      Obs_hooks.phase (obs t) ~now:(now t) ~site:(Site_core.site st.core) txn
+        Obs.Span.Vote_collect;
     if p.p_refused then send_nack st p;
     check_decision t st p;
     (* Idle-acknowledgment option: if we stay silent, our silence stalls
@@ -444,12 +457,15 @@ let create engine config ~history =
       ~latency:config.Config.latency ~classify
       ~hb_interval:config.Config.hb_interval
       ~suspect_after:config.Config.suspect_after ~flood:config.Config.flood
-      ?loss:config.Config.loss ()
+      ?loss:config.Config.loss
+      ~obs:(Obs.Recorder.registry config.Config.obs)
+      ()
   in
   let make_site site =
     {
       core =
-        Site_core.create engine ~site ~policy:Db.Lock_manager.No_wait ~history;
+        Site_core.create ~obs:config.Config.obs engine ~site
+          ~policy:Db.Lock_manager.No_wait ~history;
       ep = (Endpoint.endpoints group).(site);
       part = Txn_id.Tbl.create 64;
       orig = Txn_id.Tbl.create 64;
@@ -508,8 +524,10 @@ let submit t ~origin spec ~on_done =
   st.next_local <- st.next_local + 1;
   let txn = Txn_id.make ~origin ~local:st.next_local in
   History.begin_txn t.history txn ~origin;
+  Obs_hooks.submit (obs t) ~now:(now t) ~site:origin txn;
   if not (Endpoint.is_ready st.ep) then begin
     (* The site is down or mid-join: reject rather than act on stale state. *)
+    Obs_hooks.decide (obs t) ~now:(now t) ~site:origin txn ~committed:false;
     History.record_outcome t.history txn (History.Aborted History.View_change);
     on_done (History.Aborted History.View_change);
     txn
@@ -517,15 +535,19 @@ let submit t ~origin spec ~on_done =
   else begin
   let o = { o_on_done = on_done; o_self_pending = 0; o_cr_sent = false } in
   Txn_id.Tbl.add st.orig txn o;
+  Obs_hooks.phase (obs t) ~now:(now t) ~site:origin txn Obs.Span.Lock_wait;
   Site_core.run_reads st.core ~txn ~keys:spec.Op.reads ~on_done:(fun results ->
       let writes = Op.write_set spec ~read_results:results in
       History.record_writes t.history txn writes;
       if writes = [] then begin
         Site_core.abort_local st.core ~txn;  (* releases read locks *)
+        Obs_hooks.decide (obs t) ~now:(now t) ~site:origin txn ~committed:true;
         finish_at_origin t st txn History.Committed
       end
       else begin
         o.o_self_pending <- List.length writes;
+        Obs_hooks.phase (obs t) ~now:(now t) ~site:origin txn
+          Obs.Span.Broadcast;
         List.iter
           (fun (key, value) -> bcast st (Write { txn; key; value }))
           writes

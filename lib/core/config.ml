@@ -10,6 +10,7 @@ type t = {
   atomic_batch_writes : bool;
   atomic_premature_ack : bool;
   loss : Net.Network.loss option;
+  obs : Obs.Recorder.t;
 }
 
 let default ~n_sites =
@@ -25,4 +26,5 @@ let default ~n_sites =
     atomic_batch_writes = false;
     atomic_premature_ack = false;
     loss = None;
+    obs = Obs.Recorder.none;
   }

@@ -33,8 +33,14 @@ type t = {
   loss : Net.Network.loss option;
       (** link-level datagram loss with ARQ retransmission; [None] = clean
           links (the default; experiment E12 sweeps this) *)
+  obs : Obs.Recorder.t;
+      (** observability sink: transaction lifecycle spans and metrics from
+          every protocol layer. Defaults to the disabled
+          {!Obs.Recorder.none} — one predictable branch per
+          instrumentation point, nothing recorded. *)
 }
 
 val default : n_sites:int -> t
 (** 1998-LAN flavour: {!Net.Latency.lan}, 50ms heartbeats, 200ms suspicion,
-    10ms idle-ack, early abort off, 100ms deadlock checks, no flooding. *)
+    10ms idle-ack, early abort off, 100ms deadlock checks, no flooding,
+    observability disabled. *)

@@ -77,6 +77,9 @@ type t = {
   sites : site_state array;
 }
 
+let obs t = t.config.Config.obs
+let now t = Sim.Engine.now t.engine
+
 let net_stats t = Endpoint.stats t.group
 let store t s = Site_core.store t.sites.(s).core
 let log t s = Site_core.log t.sites.(s).core
@@ -134,6 +137,8 @@ let abort_at t st p ~reason =
     tracef p.p_txn "ABORT at site %d@." (Site_core.site st.core);
     p.p_decided <- true;
     Site_core.abort_local st.core ~txn:p.p_txn;
+    Obs_hooks.decide (obs t) ~now:(now t) ~site:(Site_core.site st.core)
+      p.p_txn ~committed:false;
     finish_at_origin t st p.p_txn (History.Aborted reason)
   end
 
@@ -142,6 +147,9 @@ let commit_at t st p =
     tracef p.p_txn "COMMIT at site %d@." (Site_core.site st.core);
     p.p_decided <- true;
     Site_core.apply_commit st.core ~txn:p.p_txn;
+    Obs_hooks.decide (obs t) ~now:(now t) ~site:(Site_core.site st.core)
+      p.p_txn ~committed:true;
+    Obs_hooks.apply (obs t) ~now:(now t) ~site:(Site_core.site st.core) p.p_txn;
     finish_at_origin t st p.p_txn History.Committed
   end
 
@@ -208,6 +216,11 @@ let handle_commit_req t st ~txn ~origin ~participants =
   if not p.p_decided then begin
     p.p_cr_seen <- true;
     p.p_participants <- Site_id.Set.of_list participants;
+    (* The origin's broadcast phase ends when its own commit request comes
+       back; from here it is collecting votes. *)
+    if Site_core.site st.core = txn.Txn_id.origin then
+      Obs_hooks.phase (obs t) ~now:(now t) ~site:(Site_core.site st.core) txn
+        Obs.Span.Vote_collect;
     cast_vote st p;
     check_decision t st p
   end
@@ -349,12 +362,15 @@ let create engine config ~history =
       ~latency:config.Config.latency ~classify
       ~hb_interval:config.Config.hb_interval
       ~suspect_after:config.Config.suspect_after ~flood:config.Config.flood
-      ?loss:config.Config.loss ()
+      ?loss:config.Config.loss
+      ~obs:(Obs.Recorder.registry config.Config.obs)
+      ()
   in
   let make_site site =
     {
       core =
-        Site_core.create engine ~site ~policy:Db.Lock_manager.No_wait ~history;
+        Site_core.create ~obs:config.Config.obs engine ~site
+          ~policy:Db.Lock_manager.No_wait ~history;
       ep = (Endpoint.endpoints group).(site);
       part = Txn_id.Tbl.create 64;
       orig = Txn_id.Tbl.create 64;
@@ -405,23 +421,29 @@ let submit t ~origin spec ~on_done =
   st.next_local <- st.next_local + 1;
   let txn = Txn_id.make ~origin ~local:st.next_local in
   History.begin_txn t.history txn ~origin;
+  Obs_hooks.submit (obs t) ~now:(now t) ~site:origin txn;
   if not (Endpoint.is_ready st.ep) then begin
     (* The site is down or mid-join: reject rather than act on stale state. *)
+    Obs_hooks.decide (obs t) ~now:(now t) ~site:origin txn ~committed:false;
     History.record_outcome t.history txn (History.Aborted History.View_change);
     on_done (History.Aborted History.View_change);
     txn
   end
   else begin
   Txn_id.Tbl.add st.orig txn { o_spec = spec; o_on_done = on_done };
+  Obs_hooks.phase (obs t) ~now:(now t) ~site:origin txn Obs.Span.Lock_wait;
   Site_core.run_reads st.core ~txn ~keys:spec.Op.reads ~on_done:(fun results ->
       let writes = Op.write_set spec ~read_results:results in
       History.record_writes t.history txn writes;
       if writes = [] then begin
         (* Read-only: local commit, no broadcast, never aborted. *)
         Site_core.abort_local st.core ~txn;  (* releases read locks *)
+        Obs_hooks.decide (obs t) ~now:(now t) ~site:origin txn ~committed:true;
         finish_at_origin t st txn History.Committed
       end
       else begin
+        Obs_hooks.phase (obs t) ~now:(now t) ~site:origin txn
+          Obs.Span.Broadcast;
         List.iter
           (fun (key, value) ->
             ignore (Endpoint.broadcast st.ep `Reliable (Write { txn; key; value })))

@@ -11,14 +11,14 @@ type t = {
   buffers : (Op.key * Op.value) list ref Txn_id.Tbl.t;  (* reversed arrival *)
 }
 
-let create _engine ~site ~policy ~history =
+let create ?(obs = Obs.Recorder.none) _engine ~site ~policy ~history =
   (* the engine parameter keeps construction uniform with the protocol
      layers; the site runtime itself is purely reactive *)
   let t =
     {
       site;
       store = Db.Version_store.create ();
-      locks = Db.Lock_manager.create ~policy ~on_grant:(fun _ _ _ -> ());
+      locks = Db.Lock_manager.create ~policy ~on_grant:(fun _ _ _ -> ()) ();
       log = Db.Redo_log.create ();
       history;
       waiting = Hashtbl.create 32;
@@ -32,7 +32,11 @@ let create _engine ~site ~policy ~history =
       continue ()
     | None -> ()
   in
-  t.locks <- Db.Lock_manager.create ~policy ~on_grant;
+  t.locks <-
+    Db.Lock_manager.create
+      ~obs:(Obs.Recorder.registry obs)
+      ~obs_labels:[ ("site", string_of_int site) ]
+      ~policy ~on_grant ();
   t
 
 let site t = t.site

@@ -9,11 +9,14 @@
 type t
 
 val create :
+  ?obs:Obs.Recorder.t ->
   Sim.Engine.t ->
   site:Net.Site_id.t ->
   policy:Db.Lock_manager.policy ->
   history:Verify.History.t ->
   t
+(** [obs] (default {!Obs.Recorder.none}) supplies the metrics registry the
+    lock manager reports to, labelled with this site. *)
 
 val site : t -> Net.Site_id.t
 val store : t -> Db.Version_store.t

@@ -13,10 +13,26 @@ type t = {
   on_grant : Txn_id.t -> key -> mode -> unit;
   table : (key, entry) Hashtbl.t;
   by_txn : key list ref Txn_id.Tbl.t;  (* keys a txn holds or waits on *)
+  (* resolved once at creation; disabled handles record nothing *)
+  c_granted : Obs.Registry.counter;
+  c_queued : Obs.Registry.counter;
+  c_refused : Obs.Registry.counter;
 }
 
-let create ~policy ~on_grant =
-  { policy; on_grant; table = Hashtbl.create 64; by_txn = Txn_id.Tbl.create 64 }
+let create ?(obs = Obs.Registry.disabled) ?(obs_labels = []) ~policy ~on_grant
+    () =
+  let counter name =
+    Obs.Registry.counter obs ~name ~labels:obs_labels ()
+  in
+  {
+    policy;
+    on_grant;
+    table = Hashtbl.create 64;
+    by_txn = Txn_id.Tbl.create 64;
+    c_granted = counter "lock_granted";
+    c_queued = counter "lock_queued";
+    c_refused = counter "lock_refused";
+  }
 
 let entry t k =
   match Hashtbl.find_opt t.table k with
@@ -46,7 +62,7 @@ let holders_allow e txn mode =
     (fun (id, m) -> Txn_id.equal id txn || compatible mode m)
     e.holders
 
-let acquire t ~txn k mode =
+let acquire_decide t ~txn k mode =
   let e = entry t k in
   match holder_mode e txn with
   | Some Exclusive -> Granted
@@ -102,6 +118,14 @@ let acquire t ~txn k mode =
     end
   end
 
+let acquire t ~txn k mode =
+  let decision = acquire_decide t ~txn k mode in
+  (match decision with
+  | Granted -> Obs.Registry.incr t.c_granted
+  | Queued -> Obs.Registry.incr t.c_queued
+  | Refused -> Obs.Registry.incr t.c_refused);
+  decision
+
 (* Promote queued requests after holders changed. Returns grants to fire
    after the table is consistent. *)
 let promote e =
@@ -148,6 +172,7 @@ let release_all t txn =
       !keys;
     List.iter
       (fun (id, k, mode) ->
+        Obs.Registry.incr t.c_granted;
         track t id k;
         t.on_grant id k mode)
       (List.rev !fired)

@@ -34,9 +34,18 @@ type decision =
 
 type t
 
-val create : policy:policy -> on_grant:(Txn_id.t -> key -> mode -> unit) -> t
+val create :
+  ?obs:Obs.Registry.t ->
+  ?obs_labels:(string * string) list ->
+  policy:policy ->
+  on_grant:(Txn_id.t -> key -> mode -> unit) ->
+  unit ->
+  t
 (** [on_grant] fires when a previously queued request is granted by a
-    release (never re-entrantly from {!acquire}). *)
+    release (never re-entrantly from {!acquire}). [obs] (default disabled)
+    receives [lock_granted] / [lock_queued] / [lock_refused] counters,
+    tagged with [obs_labels] (e.g. the site); promotions at release time
+    count as grants. *)
 
 val acquire : t -> txn:Txn_id.t -> key -> mode -> decision
 (** Request a lock. Re-acquiring a held mode (or [Shared] while holding

@@ -108,7 +108,7 @@ let e1_messages ?(quick = false) () =
 let e2_latency_sites ?(quick = false) () =
   let table =
     T.create ~title:"E2 (Figure 2): commit latency vs number of sites"
-      ~columns:[ "protocol"; "sites"; "mean"; "p50"; "p95"; "analytic" ]
+      ~columns:[ "protocol"; "sites"; "mean"; "p50"; "p95"; "p99"; "analytic" ]
   in
   let txns = if quick then 60 else 250 in
   let cells =
@@ -134,6 +134,7 @@ let e2_latency_sites ?(quick = false) () =
           T.cell_ms (Stats.Summary.mean l);
           T.cell_ms (Stats.Summary.median l);
           T.cell_ms (Stats.Summary.percentile l 0.95);
+          T.cell_ms (Stats.Summary.percentile l 0.99);
           T.cell_ms
             (Analytic.commit_latency_ms proto ~n ~latency:Net.Latency.lan
                ~idle_ack_ms:10.0);
@@ -652,6 +653,47 @@ let e12_lossy_links ?(quick = false) () =
     cells results;
   table
 
+(* ------------------------------------------------------------------ *)
+(* E13: per-phase latency breakdown *)
+
+let e13_phase_breakdown ?(quick = false) () =
+  let table =
+    T.create
+      ~title:
+        "E13: where commit latency goes — per-phase breakdown (origin-side \
+         spans; decide->apply is the replication lag behind the client's ack)"
+      ~columns:[ "protocol"; "phase"; "n"; "mean"; "p50"; "p95"; "p99" ]
+  in
+  let txns = if quick then 60 else 250 in
+  let results =
+    runs
+      (List.map
+         (fun proto ->
+           R.spec ~n_sites:5 ~txns_per_site:txns ~mpl:2 ~seed:7
+             ~collect_spans:true proto)
+         protocols)
+  in
+  List.iter2
+    (fun proto r ->
+      let stats =
+        Obs.Span_stats.of_events (Obs.Recorder.events r.R.recorder)
+      in
+      List.iter
+        (fun (phase, h) ->
+          T.add_row table
+            [
+              name proto;
+              phase;
+              T.cell_int (Obs.Hist.count h);
+              T.cell_ms (Obs.Hist.mean h);
+              T.cell_ms (Obs.Hist.percentile h 0.5);
+              T.cell_ms (Obs.Hist.percentile h 0.95);
+              T.cell_ms (Obs.Hist.percentile h 0.99);
+            ])
+        (Obs.Span_stats.named stats))
+    protocols results;
+  table
+
 let registry : (string * (?quick:bool -> unit -> Stats.Table.t)) list =
   [
     ("E1", e1_messages);
@@ -666,6 +708,7 @@ let registry : (string * (?quick:bool -> unit -> Stats.Table.t)) list =
     ("E10", e10_batched_writes);
     ("E11", e11_flooding);
     ("E12", e12_lossy_links);
+    ("E13", e13_phase_breakdown);
   ]
 
 let all ?(quick = false) () =

@@ -53,6 +53,12 @@ val e12_lossy_links : ?quick:bool -> unit -> Stats.Table.t
 (** Substrate sensitivity: datagram loss (link-level ARQ retransmission)
     versus commit latency and message cost, per protocol. *)
 
+val e13_phase_breakdown : ?quick:bool -> unit -> Stats.Table.t
+(** Where commit latency goes, per protocol: lock-wait, broadcast and
+    vote/ack-collection spans at the origin, plus the decide-to-last-apply
+    replication lag — percentiles from the span recorder's fixed-bucket
+    histograms (EXPERIMENTS.md maps each phase to the paper's claims). *)
+
 val registry : (string * (?quick:bool -> unit -> Stats.Table.t)) list
 (** The experiments above, keyed by their DESIGN.md identifiers, in order,
     but not yet run — drivers that want to time or select individual

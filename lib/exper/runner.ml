@@ -18,11 +18,12 @@ type spec = {
   background_rate : float option;
   events : (Sim.Time.t * event) list;
   drain_limit : Sim.Time.t;
+  collect_spans : bool;
 }
 
 let spec ?config ?(profile = Workload.default) ?(txns_per_site = 200) ?(mpl = 2)
     ?(seed = 42) ?background_rate ?(events = []) ?(drain_limit = Sim.Time.of_sec 30.0)
-    ~n_sites protocol =
+    ?(collect_spans = false) ~n_sites protocol =
   {
     protocol;
     config = Option.value config ~default:(Repdb.Config.default ~n_sites);
@@ -33,6 +34,7 @@ let spec ?config ?(profile = Workload.default) ?(txns_per_site = 200) ?(mpl = 2)
     background_rate;
     events;
     drain_limit;
+    collect_spans;
   }
 
 type result = {
@@ -53,13 +55,20 @@ type result = {
   background_committed : int;
   history : History.t;
   stores : (Net.Site_id.t * Db.Version_store.t) list;
+  recorder : Obs.Recorder.t;
 }
 
 let run s =
   let module P = (val Repdb.Protocol.get s.protocol) in
   let engine = Sim.Engine.create ~seed:s.seed () in
   let history = History.create () in
-  let system = P.create engine s.config ~history in
+  (* Each run gets its own recorder (never shared across domains): the
+     result is a pure function of the spec, so pool size cannot matter. *)
+  let recorder =
+    if s.collect_spans then Obs.Recorder.create () else s.config.Repdb.Config.obs
+  in
+  let config = { s.config with Repdb.Config.obs = recorder } in
+  let system = P.create engine config ~history in
   let n = s.config.Repdb.Config.n_sites in
   let committed = ref 0
   and aborted = ref 0
@@ -195,6 +204,9 @@ let run s =
   in
   Sim.Engine.run_until engine
     (Sim.Time.add grace_end (Sim.Time.of_sec 3.0));
+  (* Balance the trace: transactions the run left undecided (crashed
+     origin, drain limit) still have open phase spans. *)
+  Obs.Recorder.close_dangling recorder ~at:(Sim.Engine.now engine);
 
   let elapsed_sec = Sim.Time.to_sec !last_decision in
   let reasons =
@@ -234,6 +246,7 @@ let run s =
       List.filter_map
         (fun site -> if down.(site) then None else Some (site, P.store system site))
         (Net.Site_id.all ~n);
+    recorder;
   }
 
 let check_execution ?require_all_decided ?deadlock_free result =

@@ -27,6 +27,11 @@ type spec = {
   background_rate : float option;  (** background txns/sec per site *)
   events : (Sim.Time.t * event) list;  (** failure schedule *)
   drain_limit : Sim.Time.t;  (** give up waiting for stragglers after this *)
+  collect_spans : bool;
+      (** record transaction lifecycle spans and layer metrics: the run
+          installs a fresh {!Obs.Recorder} (returned in the result) in
+          place of the config's. Off by default — instrumentation then
+          costs one branch per event. *)
 }
 
 val spec :
@@ -38,12 +43,13 @@ val spec :
   ?background_rate:float ->
   ?events:(Sim.Time.t * event) list ->
   ?drain_limit:Sim.Time.t ->
+  ?collect_spans:bool ->
   n_sites:int ->
   Repdb.Protocol.id ->
   spec
 (** Defaults: the {!Repdb.Config.default} for [n_sites], default workload
     profile, 200 transactions per site, mpl 2, seed 42, no background, no
-    events, 30s drain. *)
+    events, 30s drain, spans off. *)
 
 type result = {
   protocol_name : string;
@@ -66,6 +72,10 @@ type result = {
   background_committed : int;
   history : Verify.History.t;
   stores : (Net.Site_id.t * Db.Version_store.t) list;
+  recorder : Obs.Recorder.t;
+      (** the run's span/metrics recorder — disabled unless the spec set
+          [collect_spans]; feed {!Obs.Recorder.events} to
+          {!Obs.Span_stats.of_events} or {!Obs.Export} *)
 }
 
 val run : spec -> result

@@ -3,15 +3,24 @@ type t = {
   mutable broadcasts : int;
   mutable drops : int;
   per_category : (string, int ref) Hashtbl.t;
+  drop_per_category : (string, int ref) Hashtbl.t;
 }
 
 let create () =
-  { datagrams = 0; broadcasts = 0; drops = 0; per_category = Hashtbl.create 16 }
+  {
+    datagrams = 0;
+    broadcasts = 0;
+    drops = 0;
+    per_category = Hashtbl.create 16;
+    drop_per_category = Hashtbl.create 16;
+  }
 
-let bump t ~category n =
-  match Hashtbl.find_opt t.per_category category with
+let bump_in tbl ~category n =
+  match Hashtbl.find_opt tbl category with
   | Some r -> r := !r + n
-  | None -> Hashtbl.add t.per_category category (ref n)
+  | None -> Hashtbl.add tbl category (ref n)
+
+let bump t ~category n = bump_in t.per_category ~category n
 
 let record_send t ~category =
   t.datagrams <- t.datagrams + 1;
@@ -22,15 +31,20 @@ let record_broadcast t ~category ~receivers =
   t.datagrams <- t.datagrams + receivers;
   bump t ~category receivers
 
-let record_drop t = t.drops <- t.drops + 1
+let record_drop t ~category =
+  t.drops <- t.drops + 1;
+  bump_in t.drop_per_category ~category 1
 
 let datagrams t = t.datagrams
 let broadcasts t = t.broadcasts
 let drops t = t.drops
 
-let by_category t =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.per_category []
+let sorted_counts tbl =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let by_category t = sorted_counts t.per_category
+let drops_by_category t = sorted_counts t.drop_per_category
 
 let datagrams_for t ~category =
   match Hashtbl.find_opt t.per_category category with
@@ -41,9 +55,13 @@ let reset t =
   t.datagrams <- 0;
   t.broadcasts <- 0;
   t.drops <- 0;
-  Hashtbl.reset t.per_category
+  Hashtbl.reset t.per_category;
+  Hashtbl.reset t.drop_per_category
 
 let pp ppf t =
   Format.fprintf ppf "datagrams=%d broadcasts=%d drops=%d" t.datagrams
     t.broadcasts t.drops;
-  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%d" k v) (by_category t)
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%d" k v) (by_category t);
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf " drop[%s]=%d" k v)
+    (drops_by_category t)

@@ -17,7 +17,10 @@ val record_send : t -> category:string -> unit
 val record_broadcast : t -> category:string -> receivers:int -> unit
 (** One broadcast operation fanned out to [receivers] datagrams. *)
 
-val record_drop : t -> unit
+val record_drop : t -> category:string -> unit
+(** One datagram that did not reach a handler — classified with the same
+    string as sends, so loss-burst experiments can attribute which message
+    class was hit. *)
 
 val datagrams : t -> int
 val broadcasts : t -> int
@@ -25,6 +28,9 @@ val drops : t -> int
 
 val by_category : t -> (string * int) list
 (** Datagram counts per category, sorted by category name. *)
+
+val drops_by_category : t -> (string * int) list
+(** Drop counts per category, sorted by category name. *)
 
 val datagrams_for : t -> category:string -> int
 

@@ -93,7 +93,7 @@ let deliver_scheduled t ~src ~dst msg =
       let rec attempts acc =
         if Sim.Rng.float t.rng 1.0 < drop_probability then begin
           Net_stats.record_send t.stats ~category:(t.classify msg);
-          Net_stats.record_drop t.stats;
+          Net_stats.record_drop t.stats ~category:(t.classify msg);
           record t ~src ~dst "lost(retransmit)" msg;
           attempts (Sim.Time.add acc (Sim.Time.add rto (Latency.sample t.latency t.rng)))
         end
@@ -115,11 +115,11 @@ let deliver_scheduled t ~src ~dst msg =
         handler ~src msg
       | None ->
         record t ~src ~dst "drop(nohandler)" msg;
-        Net_stats.record_drop t.stats
+        Net_stats.record_drop t.stats ~category:(t.classify msg)
     end
     else begin
       record t ~src ~dst "drop" msg;
-      Net_stats.record_drop t.stats
+      Net_stats.record_drop t.stats ~category:(t.classify msg)
     end
   in
   ignore (Sim.Engine.schedule_at t.engine ~time:at callback)
@@ -127,7 +127,7 @@ let deliver_scheduled t ~src ~dst msg =
 let deliver t ~src ~dst msg =
   if not (same_side t src dst) then begin
     record t ~src ~dst "drop(cut)" msg;
-    Net_stats.record_drop t.stats
+    Net_stats.record_drop t.stats ~category:(t.classify msg)
   end
   else deliver_scheduled t ~src ~dst msg
 
@@ -136,7 +136,7 @@ let send t ~src ~dst msg =
     invalid_arg "Network.send: bad site";
   if not (reachable t src dst) then begin
     record t ~src ~dst "drop(send)" msg;
-    Net_stats.record_drop t.stats
+    Net_stats.record_drop t.stats ~category:(t.classify msg)
   end
   else begin
     record t ~src ~dst "send" msg;
@@ -146,7 +146,7 @@ let send t ~src ~dst msg =
 
 let send_all t ~src ?(include_self = true) msg =
   if src < 0 || src >= t.n then invalid_arg "Network.send_all: bad site";
-  if not t.up.(src) then Net_stats.record_drop t.stats
+  if not t.up.(src) then Net_stats.record_drop t.stats ~category:(t.classify msg)
   else begin
     (* Iterate the sites directly rather than materialising a target list:
        this is the per-broadcast hot path of every protocol. *)

@@ -1,0 +1,29 @@
+(** Trace exporters: Chrome trace-event JSON (Perfetto-loadable) and JSON
+    Lines.
+
+    Chrome mapping: each site is a process ([pid] = site, named
+    ["site-N"]), each transaction a thread within its {e origin's} process
+    for span events ([tid] encodes the Txn_id), phases are [B]/[E] duration
+    events and decide/apply/submit are thread-scoped instants — so a
+    Perfetto timeline shows one lane per transaction with its lock-wait /
+    broadcast / vote-collect segments, and decision instants on every
+    replica. Timestamps are the simulator's microseconds verbatim. *)
+
+val chrome_trace : Span.event list -> string
+(** A complete JSON object ([{"traceEvents":[...]}]). Events must be
+    balanced — run {!validate} first, or produce them via {!Recorder}
+    (balanced by construction once [close_dangling] ran). *)
+
+val jsonl : ?ring:Sim.Trace.t -> Span.event list -> string
+(** One JSON object per line. With [ring], the legacy {!Sim.Trace} entries
+    are merged in by timestamp, so both streams correlate in one file;
+    span lines carry ["stream":"span"], ring lines ["stream":"trace"]. *)
+
+val validate : Span.event list -> (unit, string) result
+(** Structural checks an exported trace must pass: non-decreasing
+    timestamps in emission order, every [End] matching an open [Begin] of
+    the same (txn, site), and nothing left open at the end. *)
+
+val write_file : path:string -> ?ring:Sim.Trace.t -> Span.event list -> unit
+(** Dispatch on extension: [.jsonl] gets {!jsonl}, anything else Chrome
+    trace JSON (the [ring] is ignored there — Chrome has no place for it). *)

@@ -1,0 +1,133 @@
+type series = { s_name : string; s_labels : (string * string) list }
+
+let series ~name ~labels =
+  {
+    s_name = name;
+    s_labels =
+      List.sort (fun (a, _) (b, _) -> String.compare a b) labels;
+  }
+
+type t = {
+  on : bool;
+  counters : (series, int ref) Hashtbl.t;
+  gauges : (series, float ref) Hashtbl.t;
+  hists : (series, Hist.t) Hashtbl.t;
+}
+
+type counter = { c_on : bool; c_cell : int ref }
+type hist_handle = { h_on : bool; h_hist : Hist.t }
+
+let make ~on =
+  {
+    on;
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 8;
+    hists = Hashtbl.create 8;
+  }
+
+let create () = make ~on:true
+let disabled = make ~on:false
+let enabled t = t.on
+
+let cell tbl key fresh =
+  match Hashtbl.find_opt tbl key with
+  | Some c -> c
+  | None ->
+    let c = fresh () in
+    Hashtbl.add tbl key c;
+    c
+
+let dummy_cell = ref 0
+let dummy_hist = Hist.create ()
+
+let counter t ~name ?(labels = []) () =
+  if not t.on then { c_on = false; c_cell = dummy_cell }
+  else
+    { c_on = true; c_cell = cell t.counters (series ~name ~labels) (fun () -> ref 0) }
+
+let incr c = if c.c_on then Stdlib.incr c.c_cell
+let add c n = if c.c_on then c.c_cell := !(c.c_cell) + n
+
+let hist t ~name ?(labels = []) () =
+  if not t.on then { h_on = false; h_hist = dummy_hist }
+  else
+    {
+      h_on = true;
+      h_hist = cell t.hists (series ~name ~labels) (fun () -> Hist.create ());
+    }
+
+let observe h v = if h.h_on then Hist.observe h.h_hist v
+let hist_of_handle h = if h.h_on then Some h.h_hist else None
+
+let set_gauge t ~name ?(labels = []) v =
+  if t.on then
+    let g = cell t.gauges (series ~name ~labels) (fun () -> ref 0.0) in
+    g := v
+
+let counter_value t ~name ?(labels = []) () =
+  match Hashtbl.find_opt t.counters (series ~name ~labels) with
+  | Some c -> !c
+  | None -> 0
+
+let find_hist t ~name ?(labels = []) () =
+  Hashtbl.find_opt t.hists (series ~name ~labels)
+
+let relabel extra s =
+  match extra with
+  | [] -> s
+  | extra -> series ~name:s.s_name ~labels:(extra @ s.s_labels)
+
+let merge_into ?(extra_labels = []) ~src ~dst () =
+  if dst.on then begin
+    Hashtbl.iter
+      (fun s c ->
+        let d = cell dst.counters (relabel extra_labels s) (fun () -> ref 0) in
+        d := !d + !c)
+      src.counters;
+    Hashtbl.iter
+      (fun s g ->
+        let d = cell dst.gauges (relabel extra_labels s) (fun () -> ref 0.0) in
+        d := !g)
+      src.gauges;
+    Hashtbl.iter
+      (fun s h ->
+        let d =
+          cell dst.hists (relabel extra_labels s) (fun () -> Hist.create ())
+        in
+        Hist.merge_into ~src:h ~dst:d)
+      src.hists
+  end
+
+type dumped =
+  | Counter of int
+  | Gauge of float
+  | Histogram of Hist.t
+
+let compare_series a b =
+  match String.compare a.s_name b.s_name with
+  | 0 -> compare a.s_labels b.s_labels
+  | c -> c
+
+let dump t =
+  let acc = ref [] in
+  Hashtbl.iter (fun s c -> acc := (s, Counter !c) :: !acc) t.counters;
+  Hashtbl.iter (fun s g -> acc := (s, Gauge !g) :: !acc) t.gauges;
+  Hashtbl.iter (fun s h -> acc := (s, Histogram h) :: !acc) t.hists;
+  List.sort (fun (a, _) (b, _) -> compare_series a b) !acc
+
+let pp ppf t =
+  List.iter
+    (fun (s, d) ->
+      let labels =
+        match s.s_labels with
+        | [] -> ""
+        | l ->
+          "{"
+          ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) l)
+          ^ "}"
+      in
+      match d with
+      | Counter c -> Format.fprintf ppf "%s%s %d@." s.s_name labels c
+      | Gauge g -> Format.fprintf ppf "%s%s %g@." s.s_name labels g
+      | Histogram h -> Format.fprintf ppf "%s%s %a@." s.s_name labels Hist.pp h)
+    (dump t)

@@ -1,0 +1,67 @@
+(** Metrics registry: labelled counters, gauges and latency histograms.
+
+    Each run owns its registry (one per {!Recorder}), so nothing here is
+    shared across domains; determinism under the pool comes from
+    {!merge_into} being order-insensitive for counters and histograms and
+    from {!dump} sorting its series.
+
+    Disabled-mode cost: handles obtained from a disabled registry carry a
+    false flag, so the hot-path record is one branch and no allocation —
+    cheap enough to leave compiled into every protocol. *)
+
+type t
+
+type series = { s_name : string; s_labels : (string * string) list }
+(** Labels are kept sorted by key, so two series built with the same pairs
+    in any order are the same table key. *)
+
+type counter
+type hist_handle
+
+val create : unit -> t
+val disabled : t
+(** A shared, never-recording registry — safe to use as a default because
+    no operation mutates it. *)
+
+val enabled : t -> bool
+
+(** {2 Handles} — resolve the series once, record many times. *)
+
+val counter : t -> name:string -> ?labels:(string * string) list -> unit -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val hist : t -> name:string -> ?labels:(string * string) list -> unit -> hist_handle
+val observe : hist_handle -> float -> unit
+val hist_of_handle : hist_handle -> Hist.t option
+(** [None] when the registry is disabled. *)
+
+(** {2 Direct access} *)
+
+val set_gauge : t -> name:string -> ?labels:(string * string) list -> float -> unit
+
+val counter_value : t -> name:string -> ?labels:(string * string) list -> unit -> int
+(** 0 if the series was never recorded. *)
+
+val find_hist : t -> name:string -> ?labels:(string * string) list -> unit -> Hist.t option
+
+(** {2 Aggregation and export} *)
+
+val merge_into :
+  ?extra_labels:(string * string) list -> src:t -> dst:t -> unit -> unit
+(** Sum counters and histograms series-wise (gauges overwrite), optionally
+    tagging every incoming series with [extra_labels] (e.g.
+    [("protocol", "causal")]) first. Counter/histogram merging is
+    commutative, so folding per-run registries in any fixed order yields
+    identical dumps. *)
+
+type dumped =
+  | Counter of int
+  | Gauge of float
+  | Histogram of Hist.t
+
+val dump : t -> (series * dumped) list
+(** All series sorted by (name, labels) — a canonical, order-insensitive
+    rendering of the registry's contents. *)
+
+val pp : Format.formatter -> t -> unit

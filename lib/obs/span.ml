@@ -1,0 +1,33 @@
+type phase = Submit | Lock_wait | Broadcast | Vote_collect | Decide | Apply
+type kind = Begin | End | Instant
+
+type event = {
+  at : Sim.Time.t;
+  site : int;
+  origin : int;
+  local : int;
+  phase : phase;
+  kind : kind;
+  note : string;
+}
+
+let phase_name = function
+  | Submit -> "submit"
+  | Lock_wait -> "lock-wait"
+  | Broadcast -> "broadcast"
+  | Vote_collect -> "vote-collect"
+  | Decide -> "decide"
+  | Apply -> "apply"
+
+let kind_name = function Begin -> "B" | End -> "E" | Instant -> "i"
+
+let txn_string e =
+  if e.origin < 0 then None
+  else Some (Printf.sprintf "T%d.%d" e.origin e.local)
+
+let pp ppf e =
+  Format.fprintf ppf "[%a] S%d %s %s%s%s" Sim.Time.pp e.at e.site
+    (match txn_string e with Some s -> s | None -> "-")
+    (phase_name e.phase)
+    (match e.kind with Begin -> " begin" | End -> " end" | Instant -> "")
+    (if e.note = "" then "" else " " ^ e.note)

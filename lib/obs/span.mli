@@ -1,0 +1,44 @@
+(** Transaction lifecycle events.
+
+    One flat event type covers the whole taxonomy: phase spans ([Begin] /
+    [End] pairs per transaction and site) and point events ([Instant]).
+    The phases mirror the paper's commit path:
+
+    - [Submit]: the client handed the transaction to its origin site.
+    - [Lock_wait]: origin-side read phase — shared-lock acquisition and
+      reads (the locking protocols; the atomic protocol's optimistic reads
+      are instantaneous, so it never opens this span).
+    - [Broadcast]: write dissemination — from the first write broadcast
+      until the origin's own commit request comes back (broadcast
+      protocols) or every remote write ack arrived (baseline).
+    - [Vote_collect]: decision gathering — votes (reliable, baseline) or
+      implicit/explicit acknowledgments (causal); the atomic protocol
+      decides at total-order delivery and has no such phase.
+    - [Decide]: the commit/abort point, an instant at every site that
+      decides the transaction.
+    - [Apply]: the write set installed at a site, an instant per replica.
+
+    Transactions are keyed by their [Txn_id] components as plain integers
+    (origin, local) so this library sits below the database layer; -1
+    marks "no transaction". *)
+
+type phase = Submit | Lock_wait | Broadcast | Vote_collect | Decide | Apply
+type kind = Begin | End | Instant
+
+type event = {
+  at : Sim.Time.t;
+  site : int;  (** where the event happened *)
+  origin : int;  (** transaction id: origin component, -1 if none *)
+  local : int;  (** transaction id: local component, -1 if none *)
+  phase : phase;
+  kind : kind;
+  note : string;  (** free-form qualifier, e.g. ["commit"] on a decide *)
+}
+
+val phase_name : phase -> string
+val kind_name : kind -> string
+
+val txn_string : event -> string option
+(** ["T<origin>.<local>"], or [None] for transaction-less events. *)
+
+val pp : Format.formatter -> event -> unit

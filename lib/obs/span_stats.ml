@@ -1,0 +1,73 @@
+type t = {
+  lock_wait : Hist.t;
+  broadcast : Hist.t;
+  vote_collect : Hist.t;
+  decide_to_apply : Hist.t;
+}
+
+let ms_between a b = Sim.Time.to_ms (Sim.Time.diff b a)
+
+let of_events events =
+  let stats =
+    {
+      lock_wait = Hist.create ();
+      broadcast = Hist.create ();
+      vote_collect = Hist.create ();
+      decide_to_apply = Hist.create ();
+    }
+  in
+  let open_spans = Hashtbl.create 256 in
+  (* per transaction: origin-side commit decide time, latest apply time *)
+  let decided = Hashtbl.create 256 in
+  let last_apply = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Span.event) ->
+      let key = (e.Span.origin, e.Span.local, e.Span.site) in
+      match e.Span.kind with
+      | Span.Begin -> Hashtbl.replace open_spans key e.Span.at
+      | Span.End -> begin
+        match Hashtbl.find_opt open_spans key with
+        | Some started ->
+          Hashtbl.remove open_spans key;
+          if e.Span.note <> "dangling" then begin
+            let ms = ms_between started e.Span.at in
+            match e.Span.phase with
+            | Span.Lock_wait -> Hist.observe stats.lock_wait ms
+            | Span.Broadcast -> Hist.observe stats.broadcast ms
+            | Span.Vote_collect -> Hist.observe stats.vote_collect ms
+            | Span.Submit | Span.Decide | Span.Apply -> ()
+          end
+        | None -> ()
+      end
+      | Span.Instant -> begin
+        let txn = (e.Span.origin, e.Span.local) in
+        match e.Span.phase with
+        | Span.Decide
+          when e.Span.note = "commit" && e.Span.site = e.Span.origin ->
+          Hashtbl.replace decided txn e.Span.at
+        | Span.Apply -> begin
+          match Hashtbl.find_opt last_apply txn with
+          | Some at when Sim.Time.( <= ) e.Span.at at -> ()
+          | Some _ | None -> Hashtbl.replace last_apply txn e.Span.at
+        end
+        | _ -> ()
+      end)
+    events;
+  (* Fold in a sorted order so float accumulation in the histogram's sum is
+     independent of hash-table iteration order. *)
+  Hashtbl.fold (fun txn at acc -> (txn, at) :: acc) decided []
+  |> List.sort compare
+  |> List.iter (fun (txn, decided_at) ->
+         match Hashtbl.find_opt last_apply txn with
+         | Some applied_at when Sim.Time.( <= ) decided_at applied_at ->
+           Hist.observe stats.decide_to_apply (ms_between decided_at applied_at)
+         | Some _ | None -> ());
+  stats
+
+let named t =
+  [
+    ("lock-wait", t.lock_wait);
+    ("broadcast", t.broadcast);
+    ("vote/ack collect", t.vote_collect);
+    ("decide->apply", t.decide_to_apply);
+  ]

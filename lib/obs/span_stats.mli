@@ -1,0 +1,28 @@
+(** Per-phase latency breakdown derived from a span stream.
+
+    The direct observable for the paper's round-count claims: how much of
+    a transaction's latency was spent waiting for locks, in broadcast
+    rounds, collecting votes/acknowledgments, and propagating the decision
+    to the replicas. All durations are in milliseconds.
+
+    - [lock_wait], [broadcast], [vote_collect]: durations of the
+      origin-side phase spans (one sample per transaction that entered the
+      phase).
+    - [decide_to_apply]: per committed transaction, from the origin's
+      decide instant to the {e last} replica's apply instant — the
+      replication lag the origin's client never sees. *)
+
+type t = {
+  lock_wait : Hist.t;
+  broadcast : Hist.t;
+  vote_collect : Hist.t;
+  decide_to_apply : Hist.t;
+}
+
+val of_events : Span.event list -> t
+(** Events in emission order, as {!Recorder.events} returns them. Spans
+    closed as ["dangling"] (the transaction never decided) are excluded —
+    their duration is an artifact of when the run stopped. *)
+
+val named : t -> (string * Hist.t) list
+(** [(label, hist)] rows in presentation order. *)

@@ -1,4 +1,9 @@
-type entry = { time : Time.t; source : string; message : string }
+type entry = {
+  time : Time.t;
+  source : string;
+  message : string;
+  txn : (int * int) option;
+}
 
 type t = {
   ring : entry option array;
@@ -10,14 +15,14 @@ let create ?(capacity = 4096) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity <= 0";
   { ring = Array.make capacity None; next = 0; count = 0 }
 
-let log t ~time ~source message =
+let log t ?txn ~time ~source message =
   let capacity = Array.length t.ring in
-  t.ring.(t.next) <- Some { time; source; message };
+  t.ring.(t.next) <- Some { time; source; message; txn };
   t.next <- (t.next + 1) mod capacity;
   t.count <- t.count + 1
 
-let logf t ~time ~source fmt =
-  Format.kasprintf (fun message -> log t ~time ~source message) fmt
+let logf t ?txn ~time ~source fmt =
+  Format.kasprintf (fun message -> log t ?txn ~time ~source message) fmt
 
 let length t = Stdlib.min t.count (Array.length t.ring)
 
@@ -42,8 +47,42 @@ let clear t =
   t.next <- 0;
   t.count <- 0
 
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let entry_to_json e =
+  Printf.sprintf "{\"ts_us\":%d,\"source\":\"%s\",\"txn\":%s,\"message\":\"%s\"}"
+    (Time.to_us e.time) (json_escape e.source)
+    (match e.txn with
+    | Some (origin, local) -> Printf.sprintf "\"T%d.%d\"" origin local
+    | None -> "null")
+    (json_escape e.message)
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (entry_to_json e);
+      Buffer.add_char buf '\n')
+    (entries t);
+  Buffer.contents buf
+
 let pp ppf t =
   List.iter
     (fun e ->
-      Format.fprintf ppf "[%a] %-10s %s@." Time.pp e.time e.source e.message)
+      Format.fprintf ppf "[%a] %-10s %s%s@." Time.pp e.time e.source e.message
+        (match e.txn with
+        | Some (origin, local) -> Printf.sprintf " (T%d.%d)" origin local
+        | None -> ""))
     (entries t)

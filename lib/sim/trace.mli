@@ -10,15 +10,26 @@ type entry = {
   time : Time.t;
   source : string;  (** component that logged the entry, e.g. ["site-3"] *)
   message : string;
+  txn : (int * int) option;
+      (** the transaction the entry concerns, as (origin, local) — plain
+          integers because the simulator sits below the database layer.
+          Lets the ring trace be correlated with the structured span
+          stream in one exported file. *)
 }
 
 val create : ?capacity:int -> unit -> t
 (** Default capacity: 4096 entries. Older entries are discarded. *)
 
-val log : t -> time:Time.t -> source:string -> string -> unit
+val log :
+  t -> ?txn:int * int -> time:Time.t -> source:string -> string -> unit
 
 val logf :
-  t -> time:Time.t -> source:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+  t ->
+  ?txn:int * int ->
+  time:Time.t ->
+  source:string ->
+  ('a, Format.formatter, unit, unit) format4 ->
+  'a
 
 val entries : t -> entry list
 (** Oldest first. *)
@@ -30,5 +41,12 @@ val total_logged : t -> int
 (** Number of entries ever logged, including discarded ones. *)
 
 val clear : t -> unit
+
+val entry_to_json : entry -> string
+(** One JSON object (no trailing newline):
+    [{"ts_us":…,"source":…,"txn":"T0.5"|null,"message":…}]. *)
+
+val to_jsonl : t -> string
+(** Retained entries as JSON Lines, oldest first. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Structural validation of exported transaction-lifecycle traces.
+
+Accepts both formats `repdb_sim --trace` writes:
+
+  *.jsonl     JSON Lines: one object per line, span lines carry
+              {"stream":"span","ts_us":...,"site":...,"txn":...,
+               "phase":...,"kind":"B"|"E"|"i"}; lines with
+              "stream":"trace" are the legacy ring trace, merged in
+              by timestamp.
+  * (else)    Chrome trace-event JSON: {"traceEvents":[...]} with
+              ph B/E/i/M, pid = site, ts in microseconds.
+
+Checks, per file:
+  - parses at all, and contains at least one event;
+  - timestamps are non-decreasing in emission order (metadata events
+    excluded — Chrome 'M' events carry no ts);
+  - begin/end pairs balance per (pid, tid) lane, ends match an open
+    begin, and nothing is left open at the end.
+
+Exit status: 0 if every file passes, 1 otherwise. Used by CI on the
+traces produced for each protocol and for a chaos replay.
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: FAIL: {msg}")
+    return False
+
+
+def check_events(path, events):
+    """events: list of (ts, lane, ph) with ts=None for unstamped events."""
+    if not events:
+        return fail(path, "no events")
+    last_ts = None
+    open_spans = {}  # lane -> depth
+    for i, (ts, lane, ph) in enumerate(events):
+        if ts is not None:
+            if last_ts is not None and ts < last_ts:
+                return fail(
+                    path, f"event {i}: timestamp {ts} < previous {last_ts}"
+                )
+            last_ts = ts
+        if ph == "B":
+            open_spans[lane] = open_spans.get(lane, 0) + 1
+        elif ph == "E":
+            if open_spans.get(lane, 0) == 0:
+                return fail(path, f"event {i}: end without open begin on {lane}")
+            open_spans[lane] -= 1
+    dangling = {k: v for k, v in open_spans.items() if v > 0}
+    if dangling:
+        return fail(path, f"{len(dangling)} lane(s) left open: {dangling}")
+    print(f"{path}: OK ({len(events)} events)")
+    return True
+
+
+def load_chrome(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("not a traceEvents object")
+    events = []
+    for e in doc["traceEvents"]:
+        ph = e.get("ph", "")
+        if ph == "M":  # metadata (process/thread names): no timestamp
+            continue
+        events.append((e["ts"], (e.get("pid"), e.get("tid")), ph))
+    return events
+
+
+def load_jsonl(path):
+    events = []
+    with open(path) as f:
+        for n, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if obj.get("stream") != "span":
+                continue  # ring-trace lines interleave by design
+            events.append(
+                (obj["ts_us"], (obj.get("site"), obj.get("txn")), obj["kind"])
+            )
+    return events
+
+
+def main(paths):
+    if not paths:
+        print("usage: check_trace.py TRACE...", file=sys.stderr)
+        return 2
+    ok = True
+    for path in paths:
+        try:
+            events = (
+                load_jsonl(path) if path.endswith(".jsonl") else load_chrome(path)
+            )
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+            ok = fail(path, str(e))
+            continue
+        ok = check_events(path, events) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -72,7 +72,7 @@ let test_store_fingerprint_discriminates () =
 
 let make_lm ?(policy = Lm.No_wait) () =
   let granted = ref [] in
-  let lm = Lm.create ~policy ~on_grant:(fun t k m -> granted := (t, k, m) :: !granted) in
+  let lm = Lm.create ~policy ~on_grant:(fun t k m -> granted := (t, k, m) :: !granted) () in
   (lm, granted)
 
 let dec =
@@ -427,7 +427,7 @@ let lock_script_runs ~policy ops =
      exactly what that release promoted. *)
   let granted = ref [] in
   let lm =
-    Lm.create ~policy ~on_grant:(fun t k m -> granted := (t, k, m) :: !granted)
+    Lm.create ~policy ~on_grant:(fun t k m -> granted := (t, k, m) :: !granted) ()
   in
   (* Strict 2PL: a transaction never acquires after releasing, so each
      release retires the slot's transaction and a fresh one takes over. *)

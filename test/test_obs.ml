@@ -1,0 +1,454 @@
+(* The observability layer: histogram bucket-edge determinism, registry
+   merge determinism (including at pool sizes 1 vs 8), span
+   well-formedness per protocol, and the exporters' structural
+   guarantees. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let check_float name expected got =
+  Alcotest.(check (float 1e-9)) name expected got
+
+let with_jobs n f =
+  Parallel.set_jobs (Some n);
+  Fun.protect ~finally:(fun () -> Parallel.set_jobs None) f
+
+let count_sub s sub =
+  let n = String.length sub in
+  let last = String.length s - n in
+  let rec go i acc =
+    if i > last then acc
+    else if String.sub s i n = sub then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  if n = 0 then 0 else go 0 0
+
+let contains s sub = count_sub s sub > 0
+
+(* ---------------------------------------------------------------- *)
+(* Histograms                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let test_hist_bucket_edges () =
+  let h = Obs.Hist.create ~bounds:[| 1.0; 2.0; 5.0 |] () in
+  let idx = Obs.Hist.bucket_index h in
+  check_int "below first bound" 0 (idx 0.5);
+  (* a value exactly on an edge lands in the bucket that edge closes *)
+  check_int "edge 1.0 closes bucket 0" 0 (idx 1.0);
+  check_int "just above 1.0" 1 (idx 1.000001);
+  check_int "edge 2.0 closes bucket 1" 1 (idx 2.0);
+  check_int "edge 5.0 closes bucket 2" 2 (idx 5.0);
+  check_int "above last bound overflows" 3 (idx 5.1);
+  (* the shared default bounds agree with their own edges everywhere *)
+  let d = Obs.Hist.create () in
+  Array.iteri
+    (fun k b ->
+      check_int (Printf.sprintf "default edge %g closes bucket %d" b k) k
+        (Obs.Hist.bucket_index d b))
+    Obs.Hist.default_bounds
+
+let test_hist_percentile_nearest_rank () =
+  let h = Obs.Hist.create ~bounds:[| 1.0; 2.0; 5.0 |] () in
+  check_float "empty histogram reports 0" 0.0 (Obs.Hist.percentile h 0.5);
+  List.iter (Obs.Hist.observe h) [ 0.5; 1.5; 4.0; 7.0 ];
+  check_int "count" 4 (Obs.Hist.count h);
+  (* nearest-rank: p50 over 4 samples is the 2nd, in the (1,2] bucket *)
+  check_float "p50 is a bucket upper bound" 2.0 (Obs.Hist.percentile h 0.5);
+  check_float "p75" 5.0 (Obs.Hist.percentile h 0.75);
+  (* the overflow bucket reports the exact observed maximum *)
+  check_float "p100 reports observed max" 7.0 (Obs.Hist.percentile h 1.0);
+  check_float "min tracked exactly" 0.5 (Obs.Hist.min_value h);
+  check_float "max tracked exactly" 7.0 (Obs.Hist.max_value h);
+  check_bool "out-of-range quantile rejected" true
+    (try
+       ignore (Obs.Hist.percentile h 1.5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_hist_merge_commutative () =
+  let bounds = [| 1.0; 2.0; 5.0 |] in
+  let mk values =
+    let h = Obs.Hist.create ~bounds () in
+    List.iter (Obs.Hist.observe h) values;
+    h
+  in
+  let a () = mk [ 0.5; 1.5; 9.0 ] and b () = mk [ 2.0; 2.0; 4.9 ] in
+  let ab = Obs.Hist.create ~bounds () and ba = Obs.Hist.create ~bounds () in
+  Obs.Hist.merge_into ~src:(a ()) ~dst:ab;
+  Obs.Hist.merge_into ~src:(b ()) ~dst:ab;
+  Obs.Hist.merge_into ~src:(b ()) ~dst:ba;
+  Obs.Hist.merge_into ~src:(a ()) ~dst:ba;
+  check_int "merged count" 6 (Obs.Hist.count ab);
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "bucket counts are order-insensitive" (Obs.Hist.bucket_counts ab)
+    (Obs.Hist.bucket_counts ba);
+  check_float "merged percentiles agree" (Obs.Hist.percentile ab 0.99)
+    (Obs.Hist.percentile ba 0.99);
+  let other = Obs.Hist.create ~bounds:[| 1.0; 10.0 |] () in
+  check_bool "bound mismatch rejected" true
+    (try
+       Obs.Hist.merge_into ~src:other ~dst:ab;
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------------------------------------------------------- *)
+(* Registry                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let test_registry_handles_and_labels () =
+  let r = Obs.Registry.create () in
+  let c =
+    Obs.Registry.counter r ~name:"commits"
+      ~labels:[ ("site", "0"); ("protocol", "causal") ]
+      ()
+  in
+  Obs.Registry.incr c;
+  Obs.Registry.add c 2;
+  (* labels are a set: any order names the same series *)
+  check_int "labels are order-insensitive" 3
+    (Obs.Registry.counter_value r ~name:"commits"
+       ~labels:[ ("protocol", "causal"); ("site", "0") ]
+       ());
+  check_int "unknown series reads 0" 0
+    (Obs.Registry.counter_value r ~name:"commits" ());
+  let h = Obs.Registry.hist r ~name:"latency" () in
+  Obs.Registry.observe h 1.5;
+  (match Obs.Registry.hist_of_handle h with
+  | Some hist -> check_int "hist handle records" 1 (Obs.Hist.count hist)
+  | None -> Alcotest.fail "enabled hist handle resolved to None");
+  check_bool "find_hist sees the series" true
+    (Obs.Registry.find_hist r ~name:"latency" () <> None)
+
+let test_registry_disabled_is_inert () =
+  let r = Obs.Registry.disabled in
+  check_bool "disabled flag" false (Obs.Registry.enabled r);
+  let c = Obs.Registry.counter r ~name:"x" () in
+  Obs.Registry.incr c;
+  Obs.Registry.add c 5;
+  let h = Obs.Registry.hist r ~name:"y" () in
+  Obs.Registry.observe h 1.0;
+  Obs.Registry.set_gauge r ~name:"z" 3.0;
+  check_int "counter never recorded" 0
+    (Obs.Registry.counter_value r ~name:"x" ());
+  check_bool "hist handle is empty" true (Obs.Registry.hist_of_handle h = None);
+  check_int "dump is empty" 0 (List.length (Obs.Registry.dump r))
+
+let test_registry_merge_commutative () =
+  let mk n =
+    let r = Obs.Registry.create () in
+    let c = Obs.Registry.counter r ~name:"msgs" () in
+    Obs.Registry.add c n;
+    let h = Obs.Registry.hist r ~name:"lat" () in
+    Obs.Registry.observe h (float_of_int n);
+    r
+  in
+  let dump r = Format.asprintf "%a" Obs.Registry.pp r in
+  let ab = Obs.Registry.create () and ba = Obs.Registry.create () in
+  Obs.Registry.merge_into ~src:(mk 1) ~dst:ab ();
+  Obs.Registry.merge_into ~src:(mk 2) ~dst:ab ();
+  Obs.Registry.merge_into ~src:(mk 2) ~dst:ba ();
+  Obs.Registry.merge_into ~src:(mk 1) ~dst:ba ();
+  check_string "merge order does not matter" (dump ab) (dump ba);
+  check_int "counters summed" 3 (Obs.Registry.counter_value ab ~name:"msgs" ());
+  (* extra_labels tags the incoming series, leaving the source name free *)
+  let tagged = Obs.Registry.create () in
+  Obs.Registry.merge_into
+    ~extra_labels:[ ("protocol", "causal") ]
+    ~src:(mk 4) ~dst:tagged ();
+  check_int "tagged series carries the label" 4
+    (Obs.Registry.counter_value tagged ~name:"msgs"
+       ~labels:[ ("protocol", "causal") ]
+       ())
+
+(* ---------------------------------------------------------------- *)
+(* Recorder well-formedness by construction                         *)
+(* ---------------------------------------------------------------- *)
+
+let t_us = Sim.Time.of_us
+
+let test_recorder_balances_by_construction () =
+  let r = Obs.Recorder.create () in
+  Obs.Recorder.submit r ~at:(t_us 0) ~site:0 ~origin:0 ~local:1;
+  Obs.Recorder.phase_begin r ~at:(t_us 10) ~site:0 ~origin:0 ~local:1
+    Obs.Span.Lock_wait;
+  (* opening the next phase closes the previous one at the same instant *)
+  Obs.Recorder.phase_begin r ~at:(t_us 20) ~site:0 ~origin:0 ~local:1
+    Obs.Span.Broadcast;
+  (* decide closes whatever is open before its instant *)
+  Obs.Recorder.decide r ~at:(t_us 30) ~site:0 ~origin:0 ~local:1
+    ~committed:true;
+  Obs.Recorder.apply r ~at:(t_us 30) ~site:0 ~origin:0 ~local:1;
+  (* a stranded transaction: never decided, closed as dangling *)
+  Obs.Recorder.phase_begin r ~at:(t_us 40) ~site:1 ~origin:1 ~local:1
+    Obs.Span.Broadcast;
+  Obs.Recorder.close_dangling r ~at:(t_us 50);
+  let events = Obs.Recorder.events r in
+  (match Obs.Export.validate events with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("recorder emitted an unbalanced trace: " ^ e));
+  let count kind =
+    List.length (List.filter (fun e -> e.Obs.Span.kind = kind) events)
+  in
+  check_int "every opened span closes" (count Obs.Span.Begin)
+    (count Obs.Span.End);
+  let stats = Obs.Span_stats.of_events events in
+  check_int "lock-wait span measured" 1
+    (Obs.Hist.count stats.Obs.Span_stats.lock_wait);
+  (* two broadcast spans were opened but the dangling one is excluded *)
+  check_int "dangling span excluded from stats" 1
+    (Obs.Hist.count stats.Obs.Span_stats.broadcast)
+
+let test_export_validate_rejects_malformed () =
+  let ev ~at ~kind ~phase =
+    {
+      Obs.Span.at = t_us at;
+      site = 0;
+      origin = 0;
+      local = 1;
+      phase;
+      kind;
+      note = "";
+    }
+  in
+  let unmatched_end =
+    [ ev ~at:5 ~kind:Obs.Span.End ~phase:Obs.Span.Broadcast ]
+  in
+  check_bool "end without begin rejected" true
+    (Result.is_error (Obs.Export.validate unmatched_end));
+  let left_open =
+    [ ev ~at:5 ~kind:Obs.Span.Begin ~phase:Obs.Span.Broadcast ]
+  in
+  check_bool "unclosed span rejected" true
+    (Result.is_error (Obs.Export.validate left_open));
+  let backwards =
+    [
+      ev ~at:10 ~kind:Obs.Span.Instant ~phase:Obs.Span.Submit;
+      ev ~at:5 ~kind:Obs.Span.Instant ~phase:Obs.Span.Decide;
+    ]
+  in
+  check_bool "time going backwards rejected" true
+    (Result.is_error (Obs.Export.validate backwards))
+
+(* ---------------------------------------------------------------- *)
+(* Per-protocol span well-formedness on real runs                   *)
+(* ---------------------------------------------------------------- *)
+
+module R = Exper.Runner
+
+let traced_run proto =
+  R.run
+    (R.spec ~n_sites:3 ~txns_per_site:25 ~mpl:2 ~seed:11 ~collect_spans:true
+       proto)
+
+(* For each transaction, the Begin events at its origin site, in
+   emission order. *)
+let origin_begin_phases events =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      if
+        e.Obs.Span.kind = Obs.Span.Begin
+        && e.Obs.Span.origin >= 0
+        && e.Obs.Span.site = e.Obs.Span.origin
+      then
+        let key = (e.Obs.Span.origin, e.Obs.Span.local) in
+        Hashtbl.replace tbl key
+          (e.Obs.Span.phase :: (try Hashtbl.find tbl key with Not_found -> [])))
+    events;
+  Hashtbl.fold (fun key phases acc -> (key, List.rev phases) :: acc) tbl []
+
+let committed_updates events =
+  List.filter_map
+    (fun e ->
+      if
+        e.Obs.Span.kind = Obs.Span.Instant
+        && e.Obs.Span.phase = Obs.Span.Decide
+        && e.Obs.Span.note = "commit"
+        && e.Obs.Span.site = e.Obs.Span.origin
+      then Some (e.Obs.Span.origin, e.Obs.Span.local)
+      else None)
+    events
+
+let first_index p l =
+  let rec go i = function
+    | [] -> None
+    | x :: tl -> if p x then Some i else go (i + 1) tl
+  in
+  go 0 l
+
+let test_span_sequence proto () =
+  let r = traced_run proto in
+  let events = Obs.Recorder.events r.R.recorder in
+  check_bool "run produced span events" true (events <> []);
+  (match Obs.Export.validate events with
+  | Ok () -> ()
+  | Error e ->
+      Alcotest.fail (Printf.sprintf "%s: invalid trace: %s" r.R.protocol_name e));
+  let begins = origin_begin_phases events in
+  let committed = committed_updates events in
+  check_bool "some transactions committed" true (committed <> []);
+  let locking = proto <> Repdb.Protocol.Atomic in
+  List.iter
+    (fun (key, phases) ->
+      (* the atomic protocol's optimistic reads never wait for locks and
+         it decides at total-order delivery: no lock-wait, no vote phase *)
+      if not locking then
+        check_bool "atomic opens only broadcast spans" true
+          (List.for_all (fun p -> p = Obs.Span.Broadcast) phases);
+      if List.mem key committed && List.mem Obs.Span.Broadcast phases then
+        if locking then begin
+          (* a committed update went through the full origin-side
+             pipeline, in commit-path order *)
+          let pos p = first_index (( = ) p) phases in
+          check_bool "lock-wait precedes broadcast" true
+            (match (pos Obs.Span.Lock_wait, pos Obs.Span.Broadcast) with
+            | Some lw, Some b -> lw < b
+            | _ -> false);
+          check_bool "broadcast precedes vote/ack collection" true
+            (match (pos Obs.Span.Broadcast, pos Obs.Span.Vote_collect) with
+            | Some b, Some v -> b < v
+            | _ -> false)
+        end)
+    begins;
+  (* replication lag is measurable: origin decide -> last replica apply *)
+  let stats = Obs.Span_stats.of_events events in
+  check_bool "decide->apply lag measured" true
+    (Obs.Hist.count stats.Obs.Span_stats.decide_to_apply > 0)
+
+(* ---------------------------------------------------------------- *)
+(* Determinism under the domain pool                                *)
+(* ---------------------------------------------------------------- *)
+
+let render_traced_suite () =
+  let specs =
+    List.map
+      (fun p ->
+        R.spec ~n_sites:3 ~txns_per_site:15 ~seed:5 ~collect_spans:true p)
+      Repdb.Protocol.all
+  in
+  let runs = Parallel.map specs ~f:R.run in
+  let dst = Obs.Registry.create () in
+  List.iter2
+    (fun p r ->
+      Obs.Registry.merge_into
+        ~extra_labels:[ ("protocol", Repdb.Protocol.name p) ]
+        ~src:(Obs.Recorder.registry r.R.recorder)
+        ~dst ())
+    Repdb.Protocol.all runs;
+  let spans =
+    List.map
+      (fun r ->
+        String.concat "\n"
+          (List.map
+             (Format.asprintf "%a" Obs.Span.pp)
+             (Obs.Recorder.events r.R.recorder)))
+      runs
+  in
+  Format.asprintf "%a" Obs.Registry.pp dst
+  ^ "\n"
+  ^ String.concat "\n====\n" spans
+
+let test_merged_registry_identical_across_pool_sizes () =
+  let one = with_jobs 1 render_traced_suite in
+  let eight = with_jobs 8 render_traced_suite in
+  check_string "jobs=1 and jobs=8 merge to identical dumps" one eight
+
+(* ---------------------------------------------------------------- *)
+(* Exporters                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let small_trace () =
+  let r = Obs.Recorder.create () in
+  Obs.Recorder.submit r ~at:(t_us 1) ~site:0 ~origin:0 ~local:1;
+  Obs.Recorder.phase_begin r ~at:(t_us 2) ~site:0 ~origin:0 ~local:1
+    Obs.Span.Broadcast;
+  Obs.Recorder.decide r ~at:(t_us 9) ~site:0 ~origin:0 ~local:1 ~committed:true;
+  Obs.Recorder.apply r ~at:(t_us 9) ~site:1 ~origin:0 ~local:1;
+  Obs.Recorder.events r
+
+let test_chrome_trace_shape () =
+  let events = small_trace () in
+  let json = Obs.Export.chrome_trace events in
+  check_bool "is a traceEvents object" true (contains json "\"traceEvents\"");
+  check_int "balanced B/E pairs"
+    (count_sub json "\"ph\":\"B\"")
+    (count_sub json "\"ph\":\"E\"")
+
+let test_jsonl_merges_ring () =
+  let events = small_trace () in
+  let ring = Sim.Trace.create () in
+  Sim.Trace.log ring ~txn:(0, 1) ~time:(t_us 5) ~source:"site-0"
+    "commit request delivered";
+  let out = Obs.Export.jsonl ~ring events in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  check_bool "every line is a JSON object" true
+    (List.for_all
+       (fun l ->
+         String.length l > 0 && l.[0] = '{' && l.[String.length l - 1] = '}')
+       lines);
+  check_bool "span stream tagged" true (contains out "\"stream\":\"span\"");
+  check_bool "ring stream merged in" true (contains out "\"stream\":\"trace\"");
+  check_bool "ring entry correlates by txn" true
+    (contains (Sim.Trace.to_jsonl ring) "\"txn\":\"T0.1\"")
+
+(* ---------------------------------------------------------------- *)
+(* Satellite: categorized drop accounting                           *)
+(* ---------------------------------------------------------------- *)
+
+let test_drops_by_category () =
+  let s = Net.Net_stats.create () in
+  Net.Net_stats.record_drop s ~category:"crash";
+  Net.Net_stats.record_drop s ~category:"partition";
+  Net.Net_stats.record_drop s ~category:"crash";
+  let drops = List.sort compare (Net.Net_stats.drops_by_category s) in
+  Alcotest.(check (list (pair string int)))
+    "per-category drop counts"
+    [ ("crash", 2); ("partition", 1) ]
+    drops
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "obs"
+    [
+      ( "hist",
+        [
+          tc "bucket edges are deterministic" `Quick test_hist_bucket_edges;
+          tc "percentile is nearest-rank on buckets" `Quick
+            test_hist_percentile_nearest_rank;
+          tc "merge is commutative" `Quick test_hist_merge_commutative;
+        ] );
+      ( "registry",
+        [
+          tc "handles and label ordering" `Quick
+            test_registry_handles_and_labels;
+          tc "disabled registry is inert" `Quick test_registry_disabled_is_inert;
+          tc "merge is commutative" `Quick test_registry_merge_commutative;
+        ] );
+      ( "spans",
+        [
+          tc "recorder balances by construction" `Quick
+            test_recorder_balances_by_construction;
+          tc "validate rejects malformed traces" `Quick
+            test_export_validate_rejects_malformed;
+          tc "baseline phase sequence" `Slow
+            (test_span_sequence Repdb.Protocol.Baseline);
+          tc "reliable phase sequence" `Slow
+            (test_span_sequence Repdb.Protocol.Reliable);
+          tc "causal phase sequence" `Slow
+            (test_span_sequence Repdb.Protocol.Causal);
+          tc "atomic phase sequence" `Slow
+            (test_span_sequence Repdb.Protocol.Atomic);
+        ] );
+      ( "determinism",
+        [
+          tc "merged registry byte-identical at jobs 1 vs 8" `Slow
+            test_merged_registry_identical_across_pool_sizes;
+        ] );
+      ( "export",
+        [
+          tc "chrome trace shape" `Quick test_chrome_trace_shape;
+          tc "jsonl merges the ring trace" `Quick test_jsonl_merges_ring;
+        ] );
+      ( "net", [ tc "drops by category" `Quick test_drops_by_category ] );
+    ]
