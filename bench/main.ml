@@ -1,5 +1,5 @@
 (* Benchmark harness: regenerates every table/figure of the evaluation
-   (E1-E12, see DESIGN.md and EXPERIMENTS.md), then runs Bechamel
+   (E1-E14, see DESIGN.md and EXPERIMENTS.md), then runs Bechamel
    micro-benchmarks of the hot path behind each experiment.
 
    Simulation runs execute on the Parallel domain pool (sized by
@@ -271,15 +271,18 @@ let write_bench_json ~experiments ~micro ~total_wall =
   Printf.printf "\nwrote %s\n" file
 
 (* ------------------------------------------------------------------ *)
-(* --gate-obs: CI overhead gate on disabled-mode instrumentation. A wall
-   clock over a big loop (not Bechamel: the gate needs a stable pass/fail,
-   not an estimate) with a bound loose enough for CI noise and tight enough
-   to catch an accidental allocation or table lookup on the disabled path. *)
+(* --gate-obs: CI overhead gate on disabled-mode instrumentation — the obs
+   recorder/registry AND the audit log, which follows the same
+   disabled-singleton discipline. A wall clock over a big loop (not
+   Bechamel: the gate needs a stable pass/fail, not an estimate) with a
+   bound loose enough for CI noise and tight enough to catch an accidental
+   allocation or table lookup on the disabled path. *)
 
 let run_gate_obs () =
   let obs = Obs.Recorder.none in
   let c = Obs.Registry.counter (Obs.Recorder.registry obs) ~name:"gate" () in
   let h = Obs.Registry.hist (Obs.Recorder.registry obs) ~name:"gate" () in
+  let audit = Audit.Log.none in
   let iters = 5_000_000 in
   for i = 1 to 100_000 do
     (* warm-up *)
@@ -290,13 +293,18 @@ let run_gate_obs () =
   for i = 1 to iters do
     Obs.Registry.incr c;
     Obs.Registry.observe h (float_of_int i);
-    Obs.Recorder.submit obs ~at:(Sim.Time.of_us i) ~site:0 ~origin:0 ~local:i
+    Obs.Recorder.submit obs ~at:(Sim.Time.of_us i) ~site:0 ~origin:0 ~local:i;
+    Audit.Log.send audit ~at:(Sim.Time.of_us i) ~origin:0 ~cls:Audit.Event.C
+      ~seq:i ~txn:None ~vc:None;
+    Audit.Log.deliver audit ~at:(Sim.Time.of_us i) ~site:0 ~origin:0
+      ~cls:Audit.Event.C ~seq:i ~vc:None ~global_seq:None ~flush:false
   done;
   let wall = Unix.gettimeofday () -. t0 in
-  let calls = 3 * iters in
+  let calls = 5 * iters in
   let ns = wall *. 1e9 /. float_of_int calls in
   let bound = 50.0 in
-  Printf.printf "obs disabled-mode overhead: %.2f ns/call (%d calls)\n" ns calls;
+  Printf.printf "obs+audit disabled-mode overhead: %.2f ns/call (%d calls)\n" ns
+    calls;
   if ns > bound then begin
     Printf.printf "GATE FAIL: over the %.0f ns/call bound\n" bound;
     exit 1

@@ -1,16 +1,25 @@
 (* Command-line driver.
 
    repdb_sim run <protocol> [options]   — one simulation, full report
-   repdb_sim exper [E1..E12] [--quick]  — regenerate evaluation tables
+   repdb_sim exper [E1..E14] [--quick]  — regenerate evaluation tables
    repdb_sim fuzz [--seeds N] [options] — seeded chaos: random fault
                                           schedules, 1SR + convergence
                                           checking, failing-seed shrinking
+   repdb_sim audit --trace FILE         — re-run the broadcast-contract
+                                          monitors over a recorded stream
    repdb_sim list                       — protocols and experiments *)
 
 open Cmdliner
 
+let write_text_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
 (* Validate and write the lifecycle trace a traced run recorded; a
-   structurally broken trace is a bug, not a report. *)
+   structurally broken trace is a bug, not a report. When the run was
+   audited, its lineage events ride along in the same .jsonl (Chrome trace
+   output has no place for them). *)
 let export_trace (r : Exper.Runner.result) path =
   let events = Obs.Recorder.events r.Exper.Runner.recorder in
   (match Obs.Export.validate events with
@@ -18,9 +27,44 @@ let export_trace (r : Exper.Runner.result) path =
   | Error e ->
     Printf.eprintf "trace: INVALID (%s)\n" e;
     exit 1);
-  Obs.Export.write_file ~path events;
-  Printf.printf "trace          : %d span events -> %s\n" (List.length events)
+  let extra =
+    if Audit.Log.enabled r.Exper.Runner.audit then
+      Audit.Log.export_lines r.Exper.Runner.audit
+    else []
+  in
+  Obs.Export.write_file ~path ~extra events;
+  Printf.printf "trace          : %d span events%s -> %s\n" (List.length events)
+    (match extra with
+    | [] -> ""
+    | lines -> Printf.sprintf " + %d audit lines" (List.length lines))
     path
+
+(* The run summary's drop line: zero on clean links, per-category counts
+   under a loss model. *)
+let print_drops (r : Exper.Runner.result) =
+  let drops = r.Exper.Runner.drops_by_category in
+  let total = List.fold_left (fun acc (_, k) -> acc + k) 0 drops in
+  Printf.printf "drops          : %d%s\n" total
+    (if drops = [] then ""
+     else
+       " ("
+       ^ String.concat " "
+           (List.map (fun (c, k) -> Printf.sprintf "%s=%d" c k) drops)
+       ^ ")")
+
+(* Metrics snapshot: the run's registry plus the network drop counters
+   (kept by Net_stats, surfaced here so the JSON is self-contained). *)
+let export_metrics (r : Exper.Runner.result) path =
+  let registry = Obs.Recorder.registry r.Exper.Runner.recorder in
+  List.iter
+    (fun (category, count) ->
+      Obs.Registry.add
+        (Obs.Registry.counter registry ~name:"net_dropped_datagrams"
+           ~labels:[ ("category", category) ] ())
+        count)
+    r.Exper.Runner.drops_by_category;
+  write_text_file path (Obs.Export.metrics_json registry);
+  Printf.printf "metrics        : -> %s\n" path
 
 let trace_file =
   Arg.(
@@ -36,7 +80,8 @@ let trace_file =
 (* run *)
 
 let run_cmd protocol n_sites txns mpl seed ro_fraction theta n_keys reads writes
-    ack_delay_ms no_ack early batch flood loss_rate verbose trace =
+    ack_delay_ms no_ack early batch flood loss_rate verbose trace audit
+    audit_report metrics =
   match Repdb.Protocol.of_name protocol with
   | None ->
     Printf.eprintf "unknown protocol %S (try: baseline reliable causal atomic)\n"
@@ -69,7 +114,9 @@ let run_cmd protocol n_sites txns mpl seed ro_fraction theta n_keys reads writes
     in
     let spec =
       Exper.Runner.spec ~config ~profile ~txns_per_site:txns ~mpl ~seed ~n_sites
-        ~collect_spans:(trace <> None) proto
+        ~collect_spans:(trace <> None || metrics <> None)
+        ~collect_audit:(audit || audit_report <> None)
+        proto
     in
     let r = Exper.Runner.run spec in
     Printf.printf "protocol       : %s\n" r.Exper.Runner.protocol_name;
@@ -93,12 +140,29 @@ let run_cmd protocol n_sites txns mpl seed ro_fraction theta n_keys reads writes
       List.iter
         (fun (cat, count) -> Printf.printf "  %-10s %d\n" cat count)
         r.Exper.Runner.per_category;
+    print_drops r;
     Printf.printf "deadlocks      : %d\n" r.Exper.Runner.deadlocks;
     Option.iter (export_trace r) trace;
+    Option.iter (export_metrics r) metrics;
+    let audit_ok =
+      if not (Audit.Log.enabled r.Exper.Runner.audit) then true
+      else begin
+        let report = Audit.Log.finalize r.Exper.Runner.audit in
+        Printf.printf "audit          : %s\n" (Audit.Log.summary report);
+        if not (Audit.Log.report_ok report) then
+          Format.printf "%a@." Audit.Log.pp_report report;
+        Option.iter
+          (fun path ->
+            write_text_file path (Audit.Log.report_to_json report);
+            Printf.printf "audit report   : -> %s\n" path)
+          audit_report;
+        Audit.Log.report_ok report
+      end
+    in
     let ser = Exper.Runner.one_copy_serializable r in
     let conv = Exper.Runner.converged r in
     Printf.printf "1-copy serializable: %b\nreplicas converged : %b\n" ser conv;
-    if not (ser && conv) then exit 1
+    if not (ser && conv && audit_ok) then exit 1
 
 let protocol =
   Arg.(
@@ -140,11 +204,39 @@ let loss_rate =
 
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"per-category message counts")
 
+let audit_flag =
+  Arg.(
+    value & flag
+    & info [ "audit" ]
+        ~doc:
+          "record the message-lineage audit log and check the broadcast \
+           contracts (integrity, reliable agreement, causal order, \
+           total-order prefix consistency) online; exit 1 on any violation")
+
+let audit_report_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "audit-report" ] ~docv:"FILE"
+        ~doc:
+          "write the audit verdict as JSON (violations carry their minimal \
+           causal slices). Implies $(b,--audit).")
+
+let metrics_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "dump the run's metrics registry (counters, gauges, histograms, \
+           plus network drop counters) as JSON. Implies span collection.")
+
 let run_term =
   Term.(
     const run_cmd $ protocol $ n_sites $ txns $ mpl $ seed $ ro_fraction
     $ theta $ n_keys $ reads $ writes $ ack_delay_ms $ no_ack $ early $ batch
-    $ flood $ loss_rate $ verbose $ trace_file)
+    $ flood $ loss_rate $ verbose $ trace_file $ audit_flag
+    $ audit_report_file $ metrics_file)
 
 (* ------------------------------------------------------------------ *)
 (* exper *)
@@ -165,7 +257,7 @@ let exper_cmd which quick markdown jobs =
           match List.assoc_opt id experiments with
           | Some fn -> Some (id, fn)
           | None ->
-            Printf.eprintf "unknown experiment %s (E1..E12)\n" id;
+            Printf.eprintf "unknown experiment %s (E1..E14)\n" id;
             exit 2)
         ids
   in
@@ -178,7 +270,7 @@ let exper_cmd which quick markdown jobs =
     selected
 
 let which =
-  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"E1..E12 (default: all)")
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"E1..E14 (default: all)")
 
 let quick = Arg.(value & flag & info [ "quick" ] ~doc:"smaller workloads")
 
@@ -199,7 +291,7 @@ let exper_term = Term.(const exper_cmd $ which $ quick $ markdown $ exper_jobs)
 (* fuzz *)
 
 let fuzz_cmd n_seeds seed_start jobs txns episodes protocol_names planted_bug
-    replay trace =
+    audit replay trace =
   (match jobs with Some n -> Parallel.set_jobs (Some n) | None -> ());
   let protocols =
     match protocol_names with
@@ -221,6 +313,7 @@ let fuzz_cmd n_seeds seed_start jobs txns episodes protocol_names planted_bug
       txns_per_site = txns;
       max_episodes = episodes;
       planted_bug;
+      audit;
     }
   in
   match replay with
@@ -239,6 +332,16 @@ let fuzz_cmd n_seeds seed_start jobs txns episodes protocol_names planted_bug
       let result = Exper.Runner.run spec in
       let report = Exper.Runner.check_execution result in
       Format.printf "%s@.%a@." (Chaos.repro case) Verify.Check.pp report;
+      let audit_ok =
+        if not (Audit.Log.enabled result.Exper.Runner.audit) then true
+        else begin
+          let audit_report = Audit.Log.finalize result.Exper.Runner.audit in
+          Format.printf "audit: %s@." (Audit.Log.summary audit_report);
+          if not (Audit.Log.report_ok audit_report) then
+            Format.printf "%a@." Audit.Log.pp_report audit_report;
+          Audit.Log.report_ok audit_report
+        end
+      in
       Option.iter (export_trace result) trace;
       (* On divergence, show how the write order of each disputed key
          differed between the two sites — the raw material for diagnosis. *)
@@ -265,7 +368,7 @@ let fuzz_cmd n_seeds seed_start jobs txns episodes protocol_names planted_bug
                    (writers_of site d.Verify.Convergence.key)))
             [ d.Verify.Convergence.site_a; d.Verify.Convergence.site_b ])
         report.Verify.Check.divergences;
-      if not (Verify.Check.ok report) then exit 1)
+      if not (Verify.Check.ok report && audit_ok) then exit 1)
   | None ->
     let seeds = List.init n_seeds (fun i -> seed_start + i) in
     let outcome = Chaos.fuzz cfg ~seeds in
@@ -328,10 +431,90 @@ let fuzz_replay =
         ~doc:"replay one reported case, e.g. 'proto=atomic seed=17 sites=5 \
               script=crash(3)@400000+300000'")
 
+let fuzz_audit =
+  Arg.(
+    value & flag
+    & info [ "audit" ]
+        ~doc:
+          "run the broadcast-contract monitors on every case; a monitor \
+           violation fails (and shrinks) the case exactly like a \
+           serializability violation")
+
 let fuzz_term =
   Term.(
     const fuzz_cmd $ fuzz_seeds $ fuzz_seed_start $ fuzz_jobs $ fuzz_txns
-    $ fuzz_episodes $ fuzz_protocols $ fuzz_planted $ fuzz_replay $ trace_file)
+    $ fuzz_episodes $ fuzz_protocols $ fuzz_planted $ fuzz_audit $ fuzz_replay
+    $ trace_file)
+
+(* ------------------------------------------------------------------ *)
+(* audit (offline replay of a recorded stream) *)
+
+let audit_cmd file json_out =
+  let lines =
+    let ic = open_in file in
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    in
+    go []
+  in
+  let n =
+    match List.find_opt Audit.Event.is_schema_line lines with
+    | None ->
+      Printf.eprintf
+        "%s: no audit schema header (was the run recorded with --audit and \
+         a .jsonl trace?)\n"
+        file;
+      exit 2
+    | Some line -> (
+      match Audit.Event.parse_schema line with
+      | Ok n -> n
+      | Error e ->
+        Printf.eprintf "%s: bad schema header: %s\n" file e;
+        exit 2)
+  in
+  let events =
+    List.filteri
+      (fun _ line ->
+        Audit.Event.is_audit_line line
+        && not (Audit.Event.is_schema_line line))
+      lines
+    |> List.mapi (fun i line ->
+           match Audit.Event.of_json line with
+           | Ok event -> event
+           | Error e ->
+             Printf.eprintf "%s: audit line %d: %s\n" file (i + 1) e;
+             exit 2)
+  in
+  let report = Audit.Log.replay ~n events in
+  Format.printf "%a@." Audit.Log.pp_report report;
+  Option.iter
+    (fun path ->
+      write_text_file path (Audit.Log.report_to_json report);
+      Printf.printf "audit report   : -> %s\n" path)
+    json_out;
+  if not (Audit.Log.report_ok report) then exit 1
+
+let audit_trace_file =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "a .jsonl trace recorded by $(b,run --audit --trace FILE) (or any \
+           file of audit JSON lines): the monitors re-run offline over the \
+           recorded stream")
+
+let audit_json_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"also write the verdict as JSON")
+
+let audit_term = Term.(const audit_cmd $ audit_trace_file $ audit_json_out)
 
 (* ------------------------------------------------------------------ *)
 (* list *)
@@ -361,6 +544,12 @@ let cmd =
              "seeded chaos: randomized fault schedules, one-copy \
               serializability + convergence checking, failing-seed shrinking")
         fuzz_term;
+      Cmd.v
+        (Cmd.info "audit"
+           ~doc:
+             "re-run the broadcast-contract monitors over a recorded audit \
+              stream")
+        audit_term;
       Cmd.v (Cmd.info "list" ~doc:"list protocols and experiments")
         Term.(const list_cmd $ const ());
     ]

@@ -1,0 +1,133 @@
+module E = Event
+
+let rank = function E.R -> 0 | E.C -> 1 | E.T -> 2
+let key (m : E.msg) = (rank m.cls, m.origin, m.seq)
+
+type row = {
+  a_txn : int * int;
+  a_msgs : int;
+  a_order_msgs : int;
+  a_rounds : int;
+}
+
+let per_txn ?only ~n events =
+  let sends_by_txn : (int * int, (int * E.msg) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let txn_of_msg : (int * int * int, int * int) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  (* Earliest delivery time per site, for the round-depth edges. *)
+  let deliver_ts : (int * int * int, int array) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let orders = ref [] in
+  List.iter
+    (fun ev ->
+      match ev with
+      | E.Send { at; msg; txn = Some txn; _ } ->
+        Hashtbl.replace txn_of_msg (key msg) txn;
+        let l =
+          match Hashtbl.find_opt sends_by_txn txn with
+          | Some l -> l
+          | None ->
+            let l = ref [] in
+            Hashtbl.add sends_by_txn txn l;
+            l
+        in
+        l := (Sim.Time.to_us at, msg) :: !l
+      | E.Deliver { at; site; msg; _ } ->
+        if site < n then begin
+          let arr =
+            match Hashtbl.find_opt deliver_ts (key msg) with
+            | Some a -> a
+            | None ->
+              let a = Array.make n max_int in
+              Hashtbl.add deliver_ts (key msg) a;
+              a
+          in
+          arr.(site) <- min arr.(site) (Sim.Time.to_us at)
+        end
+      | E.Order_assign { msg; _ } -> orders := key msg :: !orders
+      | _ -> ())
+    events;
+  let order_count = Hashtbl.create 32 in
+  List.iter
+    (fun k ->
+      match Hashtbl.find_opt txn_of_msg k with
+      | Some txn ->
+        Hashtbl.replace order_count txn
+          (1 + Option.value ~default:0 (Hashtbl.find_opt order_count txn))
+      | None -> ())
+    !orders;
+  let keep =
+    match only with
+    | None -> fun _ -> true
+    | Some l ->
+      let set = Hashtbl.create (List.length l) in
+      List.iter (fun txn -> Hashtbl.replace set txn ()) l;
+      Hashtbl.mem set
+  in
+  let rows =
+    Hashtbl.fold
+      (fun txn sends acc ->
+        if not (keep txn) then acc
+        else begin
+          let sends = Array.of_list (List.sort compare !sends) in
+          let k = Array.length sends in
+          (* round(i) = 1 + max round over earlier same-txn sends already
+             delivered at send i's origin by the time it is sent ([<=]:
+             a send issued inside the delivery handler is the next round). *)
+          let rounds = Array.make k 1 in
+          Array.iteri
+            (fun i (ts_i, (m_i : E.msg)) ->
+              let best = ref 0 in
+              for j = 0 to i - 1 do
+                let _, m_j = sends.(j) in
+                match Hashtbl.find_opt deliver_ts (key m_j) with
+                | Some d when m_i.origin < n && d.(m_i.origin) <= ts_i ->
+                  if rounds.(j) > !best then best := rounds.(j)
+                | _ -> ()
+              done;
+              rounds.(i) <- !best + 1)
+            sends;
+          {
+            a_txn = txn;
+            a_msgs = k;
+            a_order_msgs =
+              Option.value ~default:0 (Hashtbl.find_opt order_count txn);
+            a_rounds = Array.fold_left max 0 rounds;
+          }
+          :: acc
+        end)
+      sends_by_txn []
+  in
+  List.sort (fun a b -> compare a.a_txn b.a_txn) rows
+
+type stats = { st_min : int; st_max : int; st_mean : float }
+
+type summary = {
+  n_txns : int;
+  msgs : stats;
+  order_msgs : stats;
+  rounds : stats;
+}
+
+let stats_of = function
+  | [] -> { st_min = 0; st_max = 0; st_mean = 0. }
+  | l ->
+    let mn = List.fold_left min max_int l in
+    let mx = List.fold_left max min_int l in
+    let sum = List.fold_left ( + ) 0 l in
+    { st_min = mn; st_max = mx; st_mean = float_of_int sum /. float_of_int (List.length l) }
+
+let summarize ?only ~n events =
+  let rows = per_txn ?only ~n events in
+  {
+    n_txns = List.length rows;
+    msgs = stats_of (List.map (fun r -> r.a_msgs) rows);
+    order_msgs = stats_of (List.map (fun r -> r.a_order_msgs) rows);
+    rounds = stats_of (List.map (fun r -> r.a_rounds) rows);
+  }
+
+let stats_exact s = if s.st_min = s.st_max then Some s.st_min else None

@@ -1,0 +1,35 @@
+(** Per-transaction message-cost accounting over the delivery DAG.
+
+    For every transaction that tagged at least one broadcast, counts the
+    broadcasts it sent, the sequencer order messages its total-class
+    broadcasts triggered, and its broadcast-round depth — the longest
+    chain of same-transaction sends where each send happens at or after a
+    previous send's delivery at the sending site. This is what E14 checks
+    against the paper's analytical per-protocol claims (e.g. an update
+    with [w] writes costs [w+1] causal broadcasts in two rounds, or
+    [w+1+n] reliable broadcasts when votes are counted). *)
+
+type row = {
+  a_txn : int * int;
+  a_msgs : int;  (** broadcasts tagged with this transaction *)
+  a_order_msgs : int;  (** sequencer assignments for those broadcasts *)
+  a_rounds : int;  (** longest deliver-before-send chain *)
+}
+
+val per_txn : ?only:(int * int) list -> n:int -> Event.t list -> row list
+(** One row per transaction with tagged sends, sorted by id; [only]
+    restricts to the given transactions (e.g. committed updates). *)
+
+type stats = { st_min : int; st_max : int; st_mean : float }
+
+type summary = {
+  n_txns : int;
+  msgs : stats;
+  order_msgs : stats;
+  rounds : stats;
+}
+
+val summarize : ?only:(int * int) list -> n:int -> Event.t list -> summary
+val stats_exact : stats -> int option
+(** [Some v] when min = max = v — the contention-free case where measured
+    costs must equal the analytical claim exactly. *)

@@ -1,0 +1,405 @@
+type cls = R | C | T
+
+let cls_name = function R -> "R" | C -> "C" | T -> "T"
+
+let cls_of_name = function
+  | "R" -> Some R
+  | "C" -> Some C
+  | "T" -> Some T
+  | _ -> None
+
+type msg = { origin : int; cls : cls; seq : int }
+
+let cls_rank = function R -> 0 | C -> 1 | T -> 2
+
+let msg_compare a b =
+  let c = Int.compare a.origin b.origin in
+  if c <> 0 then c
+  else
+    let c = Int.compare (cls_rank a.cls) (cls_rank b.cls) in
+    if c <> 0 then c else Int.compare a.seq b.seq
+
+let pp_msg ppf m =
+  Format.fprintf ppf "%s%d@@%d" (cls_name m.cls) m.origin m.seq
+
+type t =
+  | Send of {
+      at : Sim.Time.t;
+      msg : msg;
+      txn : (int * int) option;
+      vc : int array option;
+    }
+  | Deliver of {
+      at : Sim.Time.t;
+      site : int;
+      msg : msg;
+      vc : int array option;
+      global_seq : int option;
+      flush : bool;
+    }
+  | Pass of { at : Sim.Time.t; site : int; msg : msg; vc : int array; flush : bool }
+  | Order_assign of { at : Sim.Time.t; by : int; msg : msg; global_seq : int }
+  | Reset of {
+      at : Sim.Time.t;
+      site : int;
+      cut : int array;
+      r_next : int array;
+      next_total : int;
+    }
+  | Advance of {
+      at : Sim.Time.t;
+      site : int;
+      origin : int;
+      r_upto : int;
+      c_upto : int;
+    }
+  | Crash of { at : Sim.Time.t; site : int }
+  | Recover of { at : Sim.Time.t; site : int }
+  | Partition of { at : Sim.Time.t; group : int list }
+  | Heal of { at : Sim.Time.t }
+
+let at = function
+  | Send { at; _ }
+  | Deliver { at; _ }
+  | Pass { at; _ }
+  | Order_assign { at; _ }
+  | Reset { at; _ }
+  | Advance { at; _ }
+  | Crash { at; _ }
+  | Recover { at; _ }
+  | Partition { at; _ }
+  | Heal { at } ->
+    at
+
+let schema_version = 1
+
+let schema_line ~n =
+  Printf.sprintf
+    "{\"stream\":\"audit\",\"type\":\"schema\",\"version\":%d,\"n_sites\":%d}"
+    schema_version n
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let ints_json a =
+  "[" ^ String.concat "," (List.map string_of_int (Array.to_list a)) ^ "]"
+
+let opt_ints_json = function None -> "null" | Some a -> ints_json a
+let opt_int_json = function None -> "null" | Some i -> string_of_int i
+
+let txn_json = function
+  | None -> "null"
+  | Some (o, l) -> Printf.sprintf "\"%d.%d\"" o l
+
+let msg_fields m =
+  Printf.sprintf "\"origin\":%d,\"cls\":\"%s\",\"seq\":%d" m.origin
+    (cls_name m.cls) m.seq
+
+let to_json e =
+  let us = Sim.Time.to_us in
+  match e with
+  | Send { at; msg; txn; vc } ->
+    Printf.sprintf
+      "{\"stream\":\"audit\",\"type\":\"send\",\"ts_us\":%d,%s,\"txn\":%s,\"vc\":%s}"
+      (us at) (msg_fields msg) (txn_json txn) (opt_ints_json vc)
+  | Deliver { at; site; msg; vc; global_seq; flush } ->
+    Printf.sprintf
+      "{\"stream\":\"audit\",\"type\":\"deliver\",\"ts_us\":%d,\"site\":%d,%s,\"vc\":%s,\"gseq\":%s,\"flush\":%b}"
+      (us at) site (msg_fields msg) (opt_ints_json vc)
+      (opt_int_json global_seq) flush
+  | Pass { at; site; msg; vc; flush } ->
+    Printf.sprintf
+      "{\"stream\":\"audit\",\"type\":\"pass\",\"ts_us\":%d,\"site\":%d,%s,\"vc\":%s,\"flush\":%b}"
+      (us at) site (msg_fields msg) (ints_json vc) flush
+  | Order_assign { at; by; msg; global_seq } ->
+    Printf.sprintf
+      "{\"stream\":\"audit\",\"type\":\"order\",\"ts_us\":%d,\"by\":%d,%s,\"gseq\":%d}"
+      (us at) by (msg_fields msg) global_seq
+  | Reset { at; site; cut; r_next; next_total } ->
+    Printf.sprintf
+      "{\"stream\":\"audit\",\"type\":\"reset\",\"ts_us\":%d,\"site\":%d,\"cut\":%s,\"r_next\":%s,\"next_total\":%d}"
+      (us at) site (ints_json cut) (ints_json r_next) next_total
+  | Advance { at; site; origin; r_upto; c_upto } ->
+    Printf.sprintf
+      "{\"stream\":\"audit\",\"type\":\"advance\",\"ts_us\":%d,\"site\":%d,\"origin\":%d,\"r_upto\":%d,\"c_upto\":%d}"
+      (us at) site origin r_upto c_upto
+  | Crash { at; site } ->
+    Printf.sprintf
+      "{\"stream\":\"audit\",\"type\":\"crash\",\"ts_us\":%d,\"site\":%d}" (us at)
+      site
+  | Recover { at; site } ->
+    Printf.sprintf
+      "{\"stream\":\"audit\",\"type\":\"recover\",\"ts_us\":%d,\"site\":%d}"
+      (us at) site
+  | Partition { at; group } ->
+    Printf.sprintf
+      "{\"stream\":\"audit\",\"type\":\"partition\",\"ts_us\":%d,\"group\":[%s]}"
+      (us at)
+      (String.concat "," (List.map string_of_int group))
+  | Heal { at } ->
+    Printf.sprintf "{\"stream\":\"audit\",\"type\":\"heal\",\"ts_us\":%d}" (us at)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: a hand-rolled reader for exactly the flat objects [to_json]
+   emits (string / int / bool / null / int-array values, no nesting, no
+   escapes) — the toolchain has no JSON library, and the audit schema
+   does not need one. *)
+
+type jval = Jint of int | Jstr of string | Jbool of bool | Jnull | Jints of int list
+
+exception Parse of string
+
+let parse_flat line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then line.[!pos] else '\000' in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (peek () = ' ' || peek () = '\t') do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then
+      raise (Parse (Printf.sprintf "expected %C at %d" c !pos));
+    advance ()
+  in
+  let string_lit () =
+    expect '"';
+    let start = !pos in
+    while !pos < n && peek () <> '"' do
+      if peek () = '\\' then raise (Parse "escapes unsupported");
+      advance ()
+    done;
+    if !pos >= n then raise (Parse "unterminated string");
+    let s = String.sub line start (!pos - start) in
+    advance ();
+    s
+  in
+  let int_lit () =
+    skip_ws ();
+    let start = !pos in
+    if peek () = '-' then advance ();
+    while !pos < n && peek () >= '0' && peek () <= '9' do
+      advance ()
+    done;
+    if !pos = start then raise (Parse (Printf.sprintf "expected int at %d" start));
+    int_of_string (String.sub line start (!pos - start))
+  in
+  let keyword kw v =
+    if !pos + String.length kw <= n && String.sub line !pos (String.length kw) = kw
+    then begin
+      pos := !pos + String.length kw;
+      v
+    end
+    else raise (Parse (Printf.sprintf "bad literal at %d" !pos))
+  in
+  let value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> Jstr (string_lit ())
+    | 't' -> keyword "true" (Jbool true)
+    | 'f' -> keyword "false" (Jbool false)
+    | 'n' -> keyword "null" Jnull
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin
+        advance ();
+        Jints []
+      end
+      else begin
+        let acc = ref [ int_lit () ] in
+        skip_ws ();
+        while peek () = ',' do
+          advance ();
+          acc := int_lit () :: !acc;
+          skip_ws ()
+        done;
+        expect ']';
+        Jints (List.rev !acc)
+      end
+    | _ -> Jint (int_lit ())
+  in
+  expect '{';
+  skip_ws ();
+  let fields = ref [] in
+  if peek () <> '}' then begin
+    let pair () =
+      let k = string_lit () in
+      expect ':';
+      let v = value () in
+      fields := (k, v) :: !fields
+    in
+    skip_ws ();
+    pair ();
+    skip_ws ();
+    while peek () = ',' do
+      advance ();
+      skip_ws ();
+      pair ();
+      skip_ws ()
+    done
+  end;
+  expect '}';
+  skip_ws ();
+  if !pos <> n then raise (Parse "trailing garbage");
+  List.rev !fields
+
+let field fields k =
+  match List.assoc_opt k fields with
+  | Some v -> v
+  | None -> raise (Parse ("missing field " ^ k))
+
+let fint fields k =
+  match field fields k with
+  | Jint i -> i
+  | _ -> raise (Parse ("field " ^ k ^ ": expected int"))
+
+let fstr fields k =
+  match field fields k with
+  | Jstr s -> s
+  | _ -> raise (Parse ("field " ^ k ^ ": expected string"))
+
+let fbool fields k =
+  match field fields k with
+  | Jbool b -> b
+  | _ -> raise (Parse ("field " ^ k ^ ": expected bool"))
+
+let fints fields k =
+  match field fields k with
+  | Jints l -> l
+  | _ -> raise (Parse ("field " ^ k ^ ": expected int array"))
+
+let fints_opt fields k =
+  match field fields k with
+  | Jints l -> Some (Array.of_list l)
+  | Jnull -> None
+  | _ -> raise (Parse ("field " ^ k ^ ": expected int array or null"))
+
+let fint_opt fields k =
+  match field fields k with
+  | Jint i -> Some i
+  | Jnull -> None
+  | _ -> raise (Parse ("field " ^ k ^ ": expected int or null"))
+
+let ftxn fields k =
+  match field fields k with
+  | Jnull -> None
+  | Jstr s -> begin
+    match String.split_on_char '.' s with
+    | [ o; l ] -> begin
+      match (int_of_string_opt o, int_of_string_opt l) with
+      | Some o, Some l -> Some (o, l)
+      | _ -> raise (Parse ("field " ^ k ^ ": bad txn id"))
+    end
+    | _ -> raise (Parse ("field " ^ k ^ ": bad txn id"))
+  end
+  | _ -> raise (Parse ("field " ^ k ^ ": expected txn string or null"))
+
+let fmsg fields =
+  let cls =
+    match cls_of_name (fstr fields "cls") with
+    | Some c -> c
+    | None -> raise (Parse "bad cls")
+  in
+  { origin = fint fields "origin"; cls; seq = fint fields "seq" }
+
+let of_json line =
+  match parse_flat line with
+  | exception Parse e -> Error e
+  | fields -> (
+    match
+      let ts () = Sim.Time.of_us (fint fields "ts_us") in
+      match fstr fields "type" with
+      | "send" ->
+        Send
+          {
+            at = ts ();
+            msg = fmsg fields;
+            txn = ftxn fields "txn";
+            vc = fints_opt fields "vc";
+          }
+      | "deliver" ->
+        Deliver
+          {
+            at = ts ();
+            site = fint fields "site";
+            msg = fmsg fields;
+            vc = fints_opt fields "vc";
+            global_seq = fint_opt fields "gseq";
+            flush = fbool fields "flush";
+          }
+      | "pass" ->
+        Pass
+          {
+            at = ts ();
+            site = fint fields "site";
+            msg = fmsg fields;
+            vc =
+              (match fints_opt fields "vc" with
+              | Some vc -> vc
+              | None -> raise (Parse "pass without vc"));
+            flush = fbool fields "flush";
+          }
+      | "order" ->
+        Order_assign
+          {
+            at = ts ();
+            by = fint fields "by";
+            msg = fmsg fields;
+            global_seq = fint fields "gseq";
+          }
+      | "reset" ->
+        Reset
+          {
+            at = ts ();
+            site = fint fields "site";
+            cut = Array.of_list (fints fields "cut");
+            r_next = Array.of_list (fints fields "r_next");
+            next_total = fint fields "next_total";
+          }
+      | "advance" ->
+        Advance
+          {
+            at = ts ();
+            site = fint fields "site";
+            origin = fint fields "origin";
+            r_upto = fint fields "r_upto";
+            c_upto = fint fields "c_upto";
+          }
+      | "crash" -> Crash { at = ts (); site = fint fields "site" }
+      | "recover" -> Recover { at = ts (); site = fint fields "site" }
+      | "partition" ->
+        Partition { at = ts (); group = fints fields "group" }
+      | "heal" -> Heal { at = ts () }
+      | ty -> raise (Parse ("unknown event type " ^ ty))
+    with
+    | e -> Ok e
+    | exception Parse e -> Error e
+    | exception Failure e -> Error e)
+
+let parse_schema line =
+  match parse_flat line with
+  | exception Parse e -> Error e
+  | fields -> (
+    match
+      ( (try fstr fields "type" with Parse e -> raise (Parse e)),
+        fint fields "version",
+        fint fields "n_sites" )
+    with
+    | "schema", v, n when v = schema_version -> Ok n
+    | "schema", v, _ ->
+      Error (Printf.sprintf "unsupported audit schema version %d" v)
+    | _ -> Error "not a schema line"
+    | exception Parse e -> Error e)
+
+let contains_sub s sub =
+  let ns = String.length s and nb = String.length sub in
+  let rec go i = i + nb <= ns && (String.sub s i nb = sub || go (i + 1)) in
+  nb > 0 && go 0
+
+let is_audit_line line = contains_sub line "\"stream\":\"audit\""
+let is_schema_line line =
+  is_audit_line line && contains_sub line "\"type\":\"schema\""

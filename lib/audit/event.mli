@@ -1,0 +1,97 @@
+(** Message-lineage events: the broadcast layer's delivery DAG.
+
+    One event per observable step in a broadcast message's life — the send
+    with its causal stamp and originating transaction, the per-site
+    deliveries (and, for the total class, the moment it passes causal
+    order), sequencer order assignments, and the membership/fault
+    bookkeeping the contract monitors need to stay exact under chaos
+    (joins re-base stream counters; crashes and cuts mark sites whose
+    deliveries no longer bind the group).
+
+    The audit layer has its own message identity — [(origin, cls, seq)] as
+    plain integers — so it sits {e below} [lib/broadcast] in the dependency
+    order and the endpoint can call into it. Timestamps are simulator
+    microseconds. Events round-trip through JSON Lines
+    (["stream":"audit"]), so a recorded run can be re-audited offline. *)
+
+type cls = R | C | T
+
+val cls_name : cls -> string
+(** ["R"], ["C"], ["T"]. *)
+
+type msg = { origin : int; cls : cls; seq : int }
+(** Reliable sequence numbers start at 0; the causal and total classes
+    share one per-origin sequence space starting at 1 (the origin's own
+    vector-clock component). *)
+
+val msg_compare : msg -> msg -> int
+val pp_msg : Format.formatter -> msg -> unit
+(** E.g. ["C3@2"]: class, origin, [@] seq. *)
+
+type t =
+  | Send of {
+      at : Sim.Time.t;
+      msg : msg;
+      txn : (int * int) option;  (** originating transaction (origin, local) *)
+      vc : int array option;  (** causal stamp; [None] for the reliable class *)
+    }
+  | Deliver of {
+      at : Sim.Time.t;
+      site : int;
+      msg : msg;
+      vc : int array option;
+      global_seq : int option;  (** [Some] for total-class app deliveries *)
+      flush : bool;
+          (** delivered by a join flush ([force_apply_window]) — outside
+              the primitive's normal order, by design *)
+    }
+  | Pass of { at : Sim.Time.t; site : int; msg : msg; vc : int array; flush : bool }
+      (** a total-class message passed causal order at [site]; its app
+          delivery waits for the sequencer and is a separate {!Deliver}.
+          [flush] marks window entries force-applied during a join. *)
+  | Order_assign of { at : Sim.Time.t; by : int; msg : msg; global_seq : int }
+  | Reset of {
+      at : Sim.Time.t;
+      site : int;
+      cut : int array;  (** causal counts adopted from the join snapshot *)
+      r_next : int array;  (** next reliable seq per origin *)
+      next_total : int;
+    }
+      (** a rejoined site re-based its delivery state from a snapshot *)
+  | Advance of {
+      at : Sim.Time.t;
+      site : int;
+      origin : int;
+      r_upto : int;  (** reliable counter jumped to (exclusive bound) *)
+      c_upto : int;  (** causal count jumped to (inclusive bound) *)
+    }
+      (** a join flush fast-forwarded [site]'s counters for [origin]'s
+          stream: messages below the bounds may legitimately be skipped *)
+  | Crash of { at : Sim.Time.t; site : int }
+  | Recover of { at : Sim.Time.t; site : int }
+  | Partition of { at : Sim.Time.t; group : int list }
+  | Heal of { at : Sim.Time.t }
+
+val at : t -> Sim.Time.t
+
+val schema_version : int
+
+val schema_line : n:int -> string
+(** The header line an audit JSONL stream starts with: carries
+    {!schema_version} and the site count a replay needs. *)
+
+val to_json : t -> string
+(** One JSON object, ["stream":"audit"], no trailing newline. *)
+
+val of_json : string -> (t, string) result
+(** Parse one event line ({!to_json} round-trips). The schema header is
+    not an event; feed it to {!parse_schema} instead. *)
+
+val parse_schema : string -> (int, string) result
+(** Validate a {!schema_line} and return its site count. Errors on an
+    unknown schema version. *)
+
+val is_audit_line : string -> bool
+(** The line carries ["stream":"audit"] (event or schema header). *)
+
+val is_schema_line : string -> bool

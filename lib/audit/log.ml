@@ -1,0 +1,549 @@
+module Vc = Lclock.Vector_clock
+
+type violation = {
+  v_monitor : string;
+  v_at : Sim.Time.t;
+  v_site : int;
+  v_msg : Event.msg option;
+  v_detail : string;
+  v_slice : (Event.msg * (int * int) option) list;
+}
+
+type report = {
+  r_n_sites : int;
+  r_events : int;
+  r_sends : int;
+  r_delivers : int;
+  r_orders : int;
+  r_violations : violation list;
+  r_violations_total : int;
+}
+
+(* Retained detail is capped so a cascading bug cannot make the log itself
+   unbounded; the totals stay exact. *)
+let violation_cap = 32
+let slice_cap = 16
+
+type send_rec = {
+  sr_msg : Event.msg;
+  sr_txn : (int * int) option;
+  sr_vc : int array option;
+}
+
+type state = {
+  n : int;
+  mutable events : Event.t list;  (* newest first *)
+  mutable n_events : int;
+  mutable n_sends : int;
+  mutable n_delivers : int;
+  mutable n_orders : int;
+  mutable last_us : int;
+  cut : int array array;  (* site -> origin -> causal count delivered *)
+  rnext : int array array;  (* site -> origin -> next reliable seq *)
+  next_total : int array;  (* site -> next global sequence *)
+  exc_r : int array array;  (* site -> origin -> excused below (exclusive) *)
+  exc_c : int array array;  (* site -> origin -> excused upto (inclusive) *)
+  tainted : bool array;
+  delivered : (int * int * int, unit) Hashtbl.t array;  (* per incarnation *)
+  deliver_mask : (int * int * int, int) Hashtbl.t;  (* msg -> site bitmask *)
+  sends_ord : (int * int, send_rec) Hashtbl.t;  (* causal/total share seqs *)
+  sends_rel : (int * int, send_rec) Hashtbl.t;
+  order_map : (int, Event.msg * int) Hashtbl.t;  (* slot -> (msg, binder) *)
+  mutable viols : violation list;  (* newest first *)
+  mutable n_viols : int;
+  mutable final : report option;
+}
+
+type t = state option
+
+let none : t = None
+
+let create ~n : t =
+  Some
+    {
+      n;
+      events = [];
+      n_events = 0;
+      n_sends = 0;
+      n_delivers = 0;
+      n_orders = 0;
+      last_us = 0;
+      cut = Array.init n (fun _ -> Array.make n 0);
+      rnext = Array.init n (fun _ -> Array.make n 0);
+      next_total = Array.make n 0;
+      exc_r = Array.init n (fun _ -> Array.make n 0);
+      exc_c = Array.init n (fun _ -> Array.make n 0);
+      tainted = Array.make n false;
+      delivered = Array.init n (fun _ -> Hashtbl.create 256);
+      deliver_mask = Hashtbl.create 1024;
+      sends_ord = Hashtbl.create 512;
+      sends_rel = Hashtbl.create 512;
+      order_map = Hashtbl.create 256;
+      viols = [];
+      n_viols = 0;
+      final = None;
+    }
+
+let enabled = function None -> false | Some _ -> true
+let n_sites = function None -> 0 | Some s -> s.n
+
+let cls_rank = Event.(function R -> 0 | C -> 1 | T -> 2)
+let msg_key (m : Event.msg) = (cls_rank m.cls, m.origin, m.seq)
+
+let pp_ints ppf a =
+  Format.fprintf ppf "<%s>"
+    (String.concat "," (List.map string_of_int (Array.to_list a)))
+
+(* ------------------------------------------------------------------ *)
+(* Causal slices *)
+
+(* The ancestor chain of an offending message, walked over recorded sends:
+   a stamp's component j names origin j's message with that sequence as a
+   direct causal parent (own-origin parent is the previous sequence).
+   Breadth-first, so the closest ancestors survive the cap. *)
+let slice_of s (m : Event.msg) =
+  match m.cls with
+  | Event.R ->
+    (* Reliable lineage is the origin's FIFO chain. *)
+    let lo = max 0 (m.seq - slice_cap + 1) in
+    let rec walk seq acc =
+      if seq < lo then acc
+      else
+        let entry =
+          match Hashtbl.find_opt s.sends_rel (m.origin, seq) with
+          | Some sr -> Some (sr.sr_msg, sr.sr_txn)
+          | None -> if seq = m.seq then Some (m, None) else None
+        in
+        walk (seq - 1) (match entry with Some e -> e :: acc | None -> acc)
+    in
+    List.rev (walk m.seq [])
+  | Event.C | Event.T ->
+    let seen = Hashtbl.create 32 in
+    let q = Queue.create () in
+    let push key =
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        Queue.add key q
+      end
+    in
+    push (m.origin, m.seq);
+    let out = ref [] and count = ref 0 in
+    while (not (Queue.is_empty q)) && !count < slice_cap do
+      let (o, sq) = Queue.pop q in
+      match Hashtbl.find_opt s.sends_ord (o, sq) with
+      | Some sr ->
+        out := (sr.sr_msg, sr.sr_txn) :: !out;
+        incr count;
+        if sq > 1 then push (o, sq - 1);
+        (match sr.sr_vc with
+        | Some v ->
+          Array.iteri (fun j vj -> if j <> o && vj >= 1 then push (j, vj)) v
+        | None -> ())
+      | None ->
+        if o = m.origin && sq = m.seq then begin
+          out := (m, None) :: !out;
+          incr count
+        end
+    done;
+    List.rev !out
+
+let violate s ~monitor ~at ~site ~msg ~detail =
+  s.n_viols <- s.n_viols + 1;
+  if s.n_viols <= violation_cap then begin
+    let v_slice = match msg with None -> [] | Some m -> slice_of s m in
+    s.viols <-
+      { v_monitor = monitor; v_at = at; v_site = site; v_msg = msg; v_detail = detail; v_slice }
+      :: s.viols
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Online monitors *)
+
+let note_delivery_site s key site =
+  let mask = Option.value ~default:0 (Hashtbl.find_opt s.deliver_mask key) in
+  Hashtbl.replace s.deliver_mask key (mask lor (1 lsl site))
+
+(* BSS delivery condition for one ordered-class message at [site]: the
+   stamp is the origin's next, and every other component is already
+   covered by the site's cut. The own component advances regardless so one
+   bug does not cascade into a violation per subsequent delivery. *)
+let check_causal s ~at ~site ~(msg : Event.msg) v =
+  let o = msg.origin in
+  let c = s.cut.(site) in
+  let ok = ref (Array.length v = s.n && v.(o) = c.(o) + 1) in
+  if !ok then
+    Array.iteri (fun k vk -> if k <> o && vk > c.(k) then ok := false) v;
+  if not !ok then
+    violate s ~monitor:"causal-order" ~at ~site ~msg:(Some msg)
+      ~detail:
+        (Format.asprintf "stamp %a not deliverable at cut %a" pp_ints v pp_ints c);
+  if Array.length v = s.n then c.(o) <- max c.(o) v.(o)
+  else c.(o) <- max c.(o) msg.seq
+
+let check_total_slot s ~at ~site ~(msg : Event.msg) g =
+  (match Hashtbl.find_opt s.order_map g with
+  | None -> Hashtbl.replace s.order_map g (msg, site)
+  | Some (m0, s0) ->
+    if Event.msg_compare m0 msg <> 0 then begin
+      if (not s.tainted.(site)) && not s.tainted.(s0) then
+        violate s ~monitor:"total-order" ~at ~site ~msg:(Some msg)
+          ~detail:
+            (Format.asprintf "slot %d is %a at site %d but %a here" g
+               Event.pp_msg m0 s0 Event.pp_msg msg)
+    end;
+    (* Prefer an untainted binder: a stale minority sequencer's slots must
+       not mask a later divergence between correct sites. *)
+    if s.tainted.(s0) && not s.tainted.(site) then
+      Hashtbl.replace s.order_map g (msg, site));
+  if g <> s.next_total.(site) then
+    violate s ~monitor:"total-order" ~at ~site ~msg:(Some msg)
+      ~detail:
+        (Printf.sprintf "global seq %d delivered where %d was next" g
+           s.next_total.(site));
+  s.next_total.(site) <- max s.next_total.(site) (g + 1)
+
+let check s ev =
+  s.last_us <- max s.last_us (Sim.Time.to_us (Event.at ev));
+  match ev with
+  | Event.Send { msg; txn; vc; _ } ->
+    s.n_sends <- s.n_sends + 1;
+    let sr = { sr_msg = msg; sr_txn = txn; sr_vc = vc } in
+    let tbl = match msg.cls with Event.R -> s.sends_rel | _ -> s.sends_ord in
+    Hashtbl.replace tbl (msg.origin, msg.seq) sr
+  | Event.Deliver { at; site; msg; vc; global_seq; flush } ->
+    s.n_delivers <- s.n_delivers + 1;
+    let key = msg_key msg in
+    if Hashtbl.mem s.delivered.(site) key then
+      violate s ~monitor:"integrity" ~at ~site ~msg:(Some msg)
+        ~detail:
+          (Format.asprintf "%a delivered more than once this incarnation"
+             Event.pp_msg msg)
+    else begin
+      Hashtbl.replace s.delivered.(site) key ();
+      note_delivery_site s key site;
+      match msg.cls with
+      | Event.R ->
+        let next = s.rnext.(site).(msg.origin) in
+        if (not flush) && msg.seq <> next then
+          violate s ~monitor:"reliable-fifo" ~at ~site ~msg:(Some msg)
+            ~detail:
+              (Printf.sprintf "reliable seq %d delivered where %d was next"
+                 msg.seq next);
+        s.rnext.(site).(msg.origin) <- max next (msg.seq + 1)
+      | Event.C ->
+        (match (flush, vc) with
+        | false, Some v -> check_causal s ~at ~site ~msg v
+        | _ ->
+          let c = s.cut.(site) in
+          c.(msg.origin) <- max c.(msg.origin) msg.seq)
+      | Event.T ->
+        (* The causal cut advanced at the Pass event; here the ordered
+           (application) delivery is checked against the global sequence. *)
+        (match global_seq with
+        | Some g when not flush -> check_total_slot s ~at ~site ~msg g
+        | Some g -> s.next_total.(site) <- max s.next_total.(site) (g + 1)
+        | None -> ())
+    end
+  | Event.Pass { at; site; msg; vc; flush } ->
+    if flush then begin
+      let c = s.cut.(site) in
+      c.(msg.origin) <- max c.(msg.origin) msg.seq
+    end
+    else check_causal s ~at ~site ~msg vc
+  | Event.Order_assign _ -> s.n_orders <- s.n_orders + 1
+  | Event.Reset { site; cut; r_next; next_total; _ } ->
+    (* Rebase, not max: the snapshot may trail the site's own past
+       progress (it could have been ahead of the group cut when it went
+       down), and the new incarnation legitimately redelivers from the
+       snapshot point — which is also why the delivered set restarts. *)
+    Array.iteri (fun o v -> if o < s.n then s.cut.(site).(o) <- v) cut;
+    Array.iteri (fun o v -> if o < s.n then s.rnext.(site).(o) <- v) r_next;
+    s.next_total.(site) <- next_total;
+    (* The snapshot's state transfer covers everything below its bases, so
+       agreement must not demand those messages be individually delivered
+       here — this matters for a correct site that was merely evicted by
+       suspicion and rejoined without ever crashing. *)
+    Array.iteri
+      (fun o v ->
+        if o < s.n then s.exc_c.(site).(o) <- max s.exc_c.(site).(o) v)
+      cut;
+    Array.iteri
+      (fun o v ->
+        if o < s.n then s.exc_r.(site).(o) <- max s.exc_r.(site).(o) v)
+      r_next;
+    Hashtbl.reset s.delivered.(site)
+  | Event.Advance { site; origin; r_upto; c_upto; _ } ->
+    s.exc_r.(site).(origin) <- max s.exc_r.(site).(origin) r_upto;
+    s.exc_c.(site).(origin) <- max s.exc_c.(site).(origin) c_upto;
+    s.rnext.(site).(origin) <- max s.rnext.(site).(origin) r_upto;
+    s.cut.(site).(origin) <- max s.cut.(site).(origin) c_upto
+  | Event.Crash { site; _ } | Event.Recover { site; _ } ->
+    s.tainted.(site) <- true
+  | Event.Partition { group; _ } ->
+    (* A cut separates [group] from the rest; the majority side keeps a
+       primary view and its guarantees, so only the minority side is
+       tainted (both sides on an even split — nobody has a primary). *)
+    let in_group = Array.make s.n false in
+    List.iter (fun site -> if site < s.n then in_group.(site) <- true) group;
+    let len = Array.fold_left (fun a b -> if b then a + 1 else a) 0 in_group in
+    for site = 0 to s.n - 1 do
+      let minority =
+        if 2 * len < s.n then in_group.(site)
+        else if 2 * len > s.n then not in_group.(site)
+        else true
+      in
+      if minority then s.tainted.(site) <- true
+    done
+  | Event.Heal _ -> ()
+
+let record t ev =
+  match t with
+  | None -> ()
+  | Some s ->
+    if s.final = None then begin
+      s.events <- ev :: s.events;
+      s.n_events <- s.n_events + 1;
+      check s ev
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Typed hooks (build the event only when the log is live) *)
+
+let send t ~at ~origin ~cls ~seq ~txn ~vc =
+  match t with
+  | None -> ()
+  | Some _ ->
+    record t
+      (Event.Send
+         { at; msg = { origin; cls; seq }; txn; vc = Option.map Vc.to_array vc })
+
+let deliver t ~at ~site ~origin ~cls ~seq ~vc ~global_seq ~flush =
+  match t with
+  | None -> ()
+  | Some _ ->
+    record t
+      (Event.Deliver
+         {
+           at;
+           site;
+           msg = { origin; cls; seq };
+           vc = Option.map Vc.to_array vc;
+           global_seq;
+           flush;
+         })
+
+let pass t ~at ~site ~origin ~seq ~vc ~flush =
+  match t with
+  | None -> ()
+  | Some _ ->
+    record t
+      (Event.Pass
+         {
+           at;
+           site;
+           msg = { origin; cls = Event.T; seq };
+           vc = Vc.to_array vc;
+           flush;
+         })
+
+let order_assign t ~at ~by ~origin ~seq ~global_seq =
+  match t with
+  | None -> ()
+  | Some _ ->
+    record t
+      (Event.Order_assign
+         { at; by; msg = { origin; cls = Event.T; seq }; global_seq })
+
+let reset t ~at ~site ~cut ~r_next ~next_total =
+  match t with
+  | None -> ()
+  | Some _ -> record t (Event.Reset { at; site; cut; r_next; next_total })
+
+let advance t ~at ~site ~origin ~r_upto ~c_upto =
+  match t with
+  | None -> ()
+  | Some _ -> record t (Event.Advance { at; site; origin; r_upto; c_upto })
+
+let fault_crash t ~at ~site = record t (Event.Crash { at; site })
+let fault_recover t ~at ~site = record t (Event.Recover { at; site })
+let fault_partition t ~at ~group = record t (Event.Partition { at; group })
+let fault_heal t ~at = record t (Event.Heal { at })
+
+(* ------------------------------------------------------------------ *)
+(* Finalize: agreement over correct sites *)
+
+let empty_report =
+  {
+    r_n_sites = 0;
+    r_events = 0;
+    r_sends = 0;
+    r_delivers = 0;
+    r_orders = 0;
+    r_violations = [];
+    r_violations_total = 0;
+  }
+
+let check_agreement s =
+  let at = Sim.Time.of_us s.last_us in
+  let check_send _key (sr : send_rec) =
+    let m = sr.sr_msg in
+    let key = msg_key m in
+    let mask = Option.value ~default:0 (Hashtbl.find_opt s.deliver_mask key) in
+    let delivered_by_correct = ref false in
+    for site = 0 to s.n - 1 do
+      if (not s.tainted.(site)) && mask land (1 lsl site) <> 0 then
+        delivered_by_correct := true
+    done;
+    if !delivered_by_correct then
+      for site = 0 to s.n - 1 do
+        if (not s.tainted.(site)) && mask land (1 lsl site) = 0 then begin
+          let excused =
+            match m.cls with
+            | Event.R -> m.seq < s.exc_r.(site).(m.origin)
+            | Event.C | Event.T -> m.seq <= s.exc_c.(site).(m.origin)
+          in
+          if not excused then
+            violate s ~monitor:"agreement" ~at ~site ~msg:(Some m)
+              ~detail:
+                (Format.asprintf
+                   "%a delivered at a correct site but never here"
+                   Event.pp_msg m)
+        end
+      done
+  in
+  Hashtbl.iter check_send s.sends_rel;
+  Hashtbl.iter check_send s.sends_ord
+
+let finalize t =
+  match t with
+  | None -> empty_report
+  | Some s -> (
+    match s.final with
+    | Some r -> r
+    | None ->
+      check_agreement s;
+      let r =
+        {
+          r_n_sites = s.n;
+          r_events = s.n_events;
+          r_sends = s.n_sends;
+          r_delivers = s.n_delivers;
+          r_orders = s.n_orders;
+          r_violations = List.rev s.viols;
+          r_violations_total = s.n_viols;
+        }
+      in
+      s.final <- Some r;
+      r)
+
+let violations t = match t with None -> [] | Some s -> List.rev s.viols
+let report_ok r = r.r_violations_total = 0
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] t=%dus site=%d" v.v_monitor
+    (Sim.Time.to_us v.v_at) v.v_site;
+  (match v.v_msg with
+  | Some m -> Format.fprintf ppf " msg=%a" Event.pp_msg m
+  | None -> ());
+  Format.fprintf ppf ": %s" v.v_detail;
+  if v.v_slice <> [] then begin
+    Format.fprintf ppf "@,  causal slice: ";
+    List.iteri
+      (fun i (m, txn) ->
+        if i > 0 then Format.fprintf ppf " <- ";
+        Format.fprintf ppf "%a" Event.pp_msg m;
+        match txn with
+        | Some (o, l) -> Format.fprintf ppf "(txn %d.%d)" o l
+        | None -> ())
+      v.v_slice
+  end
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>audit: %d events (%d sends, %d delivers, %d order assignments), %d sites@,"
+    r.r_events r.r_sends r.r_delivers r.r_orders r.r_n_sites;
+  if report_ok r then Format.fprintf ppf "status: OK (no contract violations)"
+  else begin
+    Format.fprintf ppf "status: %d violation(s)" r.r_violations_total;
+    if r.r_violations_total > List.length r.r_violations then
+      Format.fprintf ppf " (first %d shown)" (List.length r.r_violations);
+    List.iter (fun v -> Format.fprintf ppf "@,%a" pp_violation v) r.r_violations
+  end;
+  Format.fprintf ppf "@]"
+
+let summary r =
+  let status =
+    if report_ok r then "ok"
+    else
+      match r.r_violations with
+      | v :: _ ->
+        Format.asprintf "%d violation(s); first: %a" r.r_violations_total
+          pp_violation { v with v_slice = [] }
+      | [] -> Printf.sprintf "%d violation(s)" r.r_violations_total
+  in
+  Printf.sprintf "%d events, %d sends, %d delivers, %d orders - %s" r.r_events
+    r.r_sends r.r_delivers r.r_orders status
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let msg_json (m : Event.msg) =
+  Printf.sprintf "{\"origin\":%d,\"cls\":\"%s\",\"seq\":%d}" m.origin
+    (Event.cls_name m.cls) m.seq
+
+let violation_json v =
+  let slice =
+    String.concat ","
+      (List.map
+         (fun ((m : Event.msg), txn) ->
+           Printf.sprintf "{\"origin\":%d,\"cls\":\"%s\",\"seq\":%d,\"txn\":%s}"
+             m.origin (Event.cls_name m.cls) m.seq
+             (match txn with
+             | Some (o, l) -> Printf.sprintf "\"%d.%d\"" o l
+             | None -> "null"))
+         v.v_slice)
+  in
+  Printf.sprintf
+    "{\"monitor\":\"%s\",\"ts_us\":%d,\"site\":%d,\"msg\":%s,\"detail\":\"%s\",\"slice\":[%s]}"
+    v.v_monitor (Sim.Time.to_us v.v_at) v.v_site
+    (match v.v_msg with Some m -> msg_json m | None -> "null")
+    (json_escape v.v_detail) slice
+
+let report_to_json r =
+  Printf.sprintf
+    "{\"stream\":\"audit-report\",\"schema\":%d,\"n_sites\":%d,\"events\":%d,\"sends\":%d,\"delivers\":%d,\"orders\":%d,\"ok\":%b,\"violations_total\":%d,\"violations\":[%s]}"
+    Event.schema_version r.r_n_sites r.r_events r.r_sends r.r_delivers
+    r.r_orders (report_ok r) r.r_violations_total
+    (String.concat "," (List.map violation_json r.r_violations))
+
+(* ------------------------------------------------------------------ *)
+(* Export / replay *)
+
+let events t = match t with None -> [] | Some s -> List.rev s.events
+
+let export_lines t =
+  match t with
+  | None -> []
+  | Some s ->
+    (0, Event.schema_line ~n:s.n)
+    :: List.rev_map
+         (fun e -> (Sim.Time.to_us (Event.at e), Event.to_json e))
+         s.events
+
+let replay ~n evs =
+  let t = create ~n in
+  List.iter (record t) evs;
+  finalize t

@@ -1,0 +1,155 @@
+(** The message-level audit log: lineage recording plus {e online}
+    broadcast-contract monitors.
+
+    A log is fed one {!Event.t} per observable step (the endpoint and the
+    experiment runner call the typed hooks below) and checks, as each event
+    arrives, the contract of the primitive that produced it:
+
+    - {b integrity} — no site delivers the same message twice within one
+      incarnation (a rejoin {!Event.Reset} starts a new one);
+    - {b reliable-fifo} — reliable-class deliveries are contiguous per
+      origin;
+    - {b causal-order} — every causal delivery's stamp is exactly the next
+      from its origin and covered by the site's delivered cut (the BSS
+      condition, checked against {!Lclock.Vector_clock} stamps);
+    - {b total-order} — total-class deliveries are gap-free in global
+      sequence per site, and no two untainted sites bind one global slot to
+      different messages;
+    - {b agreement} — at {!finalize}: every message delivered by a correct
+      site was delivered by all correct sites (correct = never crashed,
+      never isolated by a partition; join-flush {!Event.Advance} ranges are
+      excused).
+
+    All per-event work is O(1) amortized. Join flushes deliver outside the
+    normal order by design (view-synchrony weakening); their events carry
+    [flush] and re-base the monitors instead of tripping them. The shared
+    {!none} log is disabled and never mutated — every hook on it is a
+    single branch, so instrumentation stays compiled in everywhere. *)
+
+type t
+
+val none : t
+(** The disabled log. *)
+
+val create : n:int -> t
+val enabled : t -> bool
+val n_sites : t -> int
+
+(** {2 Recording hooks} — all no-ops on a disabled log. *)
+
+val send :
+  t ->
+  at:Sim.Time.t ->
+  origin:int ->
+  cls:Event.cls ->
+  seq:int ->
+  txn:(int * int) option ->
+  vc:Lclock.Vector_clock.t option ->
+  unit
+
+val deliver :
+  t ->
+  at:Sim.Time.t ->
+  site:int ->
+  origin:int ->
+  cls:Event.cls ->
+  seq:int ->
+  vc:Lclock.Vector_clock.t option ->
+  global_seq:int option ->
+  flush:bool ->
+  unit
+
+val pass :
+  t ->
+  at:Sim.Time.t ->
+  site:int ->
+  origin:int ->
+  seq:int ->
+  vc:Lclock.Vector_clock.t ->
+  flush:bool ->
+  unit
+(** A total-class message passed causal order at [site] (its application
+    delivery is a later {!deliver} carrying the global sequence). *)
+
+val order_assign :
+  t -> at:Sim.Time.t -> by:int -> origin:int -> seq:int -> global_seq:int -> unit
+
+val reset :
+  t ->
+  at:Sim.Time.t ->
+  site:int ->
+  cut:int array ->
+  r_next:int array ->
+  next_total:int ->
+  unit
+(** A rejoining site adopted snapshot state: [cut] and [r_next] are
+    indexed by origin (causal count / next reliable seq). *)
+
+val advance :
+  t -> at:Sim.Time.t -> site:int -> origin:int -> r_upto:int -> c_upto:int -> unit
+
+val fault_crash : t -> at:Sim.Time.t -> site:int -> unit
+val fault_recover : t -> at:Sim.Time.t -> site:int -> unit
+val fault_partition : t -> at:Sim.Time.t -> group:int list -> unit
+val fault_heal : t -> at:Sim.Time.t -> unit
+
+val record : t -> Event.t -> unit
+(** Feed one already-built event (the offline replay path); the typed
+    hooks above all reduce to this. *)
+
+(** {2 Violations and reports} *)
+
+type violation = {
+  v_monitor : string;
+      (** ["integrity"] | ["reliable-fifo"] | ["causal-order"] |
+          ["total-order"] | ["agreement"] *)
+  v_at : Sim.Time.t;
+  v_site : int;
+  v_msg : Event.msg option;
+  v_detail : string;
+  v_slice : (Event.msg * (int * int) option) list;
+      (** the offending message's causal ancestor chain — each entry a
+          message and its originating transaction; never empty for a
+          message-carrying violation (it includes the message itself) *)
+}
+
+type report = {
+  r_n_sites : int;
+  r_events : int;
+  r_sends : int;
+  r_delivers : int;
+  r_orders : int;
+  r_violations : violation list;  (** in detection order, capped *)
+  r_violations_total : int;  (** including any beyond the cap *)
+}
+
+val violations : t -> violation list
+(** Flagged so far, in detection order — available while the run is still
+    in flight (first-violation diagnostics). *)
+
+val finalize : t -> report
+(** Run the end-of-run agreement check and freeze the report. Idempotent;
+    further events are refused once finalized. A disabled log finalizes to
+    an empty, passing report. *)
+
+val report_ok : report -> bool
+val summary : report -> string
+(** One line: event counts and either [ok] or the first violation. *)
+
+val pp_report : Format.formatter -> report -> unit
+val report_to_json : report -> string
+(** Schema-versioned JSON document (violations carry their slices). *)
+
+(** {2 Export / replay} *)
+
+val events : t -> Event.t list
+(** Every recorded event, in order. *)
+
+val export_lines : t -> (int * string) list
+(** The schema header plus one JSON line per event, each paired with its
+    timestamp in microseconds — ready to merge into a span trace or write
+    as a standalone [.jsonl]. *)
+
+val replay : n:int -> Event.t list -> report
+(** Re-run the monitors over a recorded stream (the [audit --trace FILE]
+    path). *)

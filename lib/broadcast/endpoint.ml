@@ -119,6 +119,10 @@ type 'a t = {
   c_bcast_t : Obs.Registry.counter;
   c_deliver : Obs.Registry.counter;
   c_view : Obs.Registry.counter;
+  (* planted-bug state (test-only, see [create_group]) *)
+  mutable bug_causal_fired : bool;
+  mutable bug_held : (Vc.t * 'a app_payload) Order_state.ready option;
+  mutable bug_total_fired : bool;
 }
 
 and 'a group = {
@@ -128,10 +132,20 @@ and 'a group = {
   g_hb : Sim.Time.t;
   g_suspect : Sim.Time.t;
   g_flood : bool;
+  g_audit : Audit.Log.t;
+  g_bug_causal : bool;
+  g_bug_total : bool;
   mutable g_eps : 'a t array;
 }
 
 let join_debug = Sys.getenv_opt "BCAST_JOIN_DEBUG" <> None
+
+let audit_cls = function
+  | Msg_id.Reliable -> Audit.Event.R
+  | Msg_id.Causal -> Audit.Event.C
+  | Msg_id.Total -> Audit.Event.T
+
+let a_now t = Sim.Engine.now t.group.g_engine
 
 let jdbg fmt =
   if join_debug then Format.eprintf fmt else Format.ifprintf Format.err_formatter fmt
@@ -177,7 +191,7 @@ let send_wire t ~dst wire = Net.Network.send t.group.g_net ~src:t.me ~dst wire
 let broadcast_wire ?(include_self = true) t wire =
   Net.Network.send_all t.group.g_net ~src:t.me ~include_self wire
 
-let broadcast_payload t cls payload ~joiner_floor =
+let broadcast_payload ?txn t cls payload ~joiner_floor =
   (match cls with
   | `Reliable -> Obs.Registry.incr t.c_bcast_r
   | `Causal -> Obs.Registry.incr t.c_bcast_c
@@ -186,6 +200,8 @@ let broadcast_payload t cls payload ~joiner_floor =
   | `Reliable ->
     let id = { Msg_id.origin = t.me; cls = Msg_id.Reliable; seq = t.sent_r } in
     t.sent_r <- t.sent_r + 1;
+    Audit.Log.send t.group.g_audit ~at:(a_now t) ~origin:t.me
+      ~cls:Audit.Event.R ~seq:id.Msg_id.seq ~txn ~vc:None;
     broadcast_wire t (App { id; vc = None; payload; relayed = false });
     { msg_id = id; msg_vc = None }
   | (`Causal | `Total) as ordered ->
@@ -200,13 +216,15 @@ let broadcast_payload t cls payload ~joiner_floor =
     let vc = Vc.of_array cut in
     let mcls = match ordered with `Causal -> Msg_id.Causal | `Total -> Msg_id.Total in
     let id = { Msg_id.origin = t.me; cls = mcls; seq = cut.(t.me) } in
+    Audit.Log.send t.group.g_audit ~at:(a_now t) ~origin:t.me
+      ~cls:(audit_cls mcls) ~seq:id.Msg_id.seq ~txn ~vc:(Some vc);
     broadcast_wire t (App { id; vc = Some vc; payload; relayed = false });
     { msg_id = id; msg_vc = Some vc }
 
-let broadcast t cls payload =
+let broadcast ?txn t cls payload =
   if not t.alive then invalid_arg "Endpoint.broadcast: site is down";
   if not t.initialized then invalid_arg "Endpoint.broadcast: joining";
-  broadcast_payload t cls (User payload) ~joiner_floor:None
+  broadcast_payload ?txn t cls (User payload) ~joiner_floor:None
 
 (* ------------------------------------------------------------------ *)
 (* Delivery to the application *)
@@ -223,7 +241,10 @@ let remember_recent t ~origin entry =
   Queue.push entry q;
   if Queue.length q > recent_log_capacity then ignore (Queue.pop q)
 
-let rec app_deliver t ~id ~vc ~global_seq payload =
+let rec app_deliver ?(flush = false) t ~id ~vc ~global_seq payload =
+  Audit.Log.deliver t.group.g_audit ~at:(a_now t) ~site:t.me
+    ~origin:id.Msg_id.origin ~cls:(audit_cls id.Msg_id.cls)
+    ~seq:id.Msg_id.seq ~vc ~global_seq ~flush;
   match payload with
   | User user ->
     Obs.Registry.incr t.c_deliver;
@@ -235,6 +256,25 @@ let rec app_deliver t ~id ~vc ~global_seq payload =
 
 (* Deliver a totally-ordered batch that Order_state reports ready. *)
 and deliver_ready_totals t ready =
+  let ready =
+    (* Planted total-order divergence: site 1 holds back the first ready
+       slot and delivers it after the next one — two sites then disagree
+       on the total prefix. *)
+    if not (t.group.g_bug_total && t.me = 1) || ready = [] then ready
+    else
+      match t.bug_held with
+      | None when not t.bug_total_fired -> (
+        match ready with
+        | first :: rest ->
+          t.bug_held <- Some first;
+          rest
+        | [] -> ready)
+      | Some held ->
+        t.bug_held <- None;
+        t.bug_total_fired <- true;
+        ready @ [ held ]
+      | None -> ready
+  in
   List.iter
     (fun { Order_state.global_seq; id; payload = vc, payload } ->
       app_deliver t ~id ~vc:(Some vc) ~global_seq:(Some global_seq) payload)
@@ -260,6 +300,8 @@ and maybe_assign t =
       (fun id ->
         let global_seq = t.next_assign in
         t.next_assign <- t.next_assign + 1;
+        Audit.Log.order_assign t.group.g_audit ~at:(a_now t) ~by:t.me
+          ~origin:id.Msg_id.origin ~seq:id.Msg_id.seq ~global_seq;
         let ready = Order_state.note_order t.orders id ~global_seq in
         broadcast_wire ~include_self:false t (Order { id; global_seq });
         deliver_ready_totals t ready)
@@ -276,7 +318,10 @@ and deliver_causal_releases t releases =
         t.app_cut.(origin) <- id.Msg_id.seq;
       match id.Msg_id.cls with
       | Msg_id.Causal -> app_deliver t ~id ~vc:(Some vc) ~global_seq:None payload
-      | Msg_id.Total -> total_arrival t id vc payload
+      | Msg_id.Total ->
+        Audit.Log.pass t.group.g_audit ~at:(a_now t) ~site:t.me ~origin
+          ~seq:id.Msg_id.seq ~vc ~flush:false;
+        total_arrival t id vc payload
       | Msg_id.Reliable -> assert false)
     releases
 
@@ -287,6 +332,10 @@ and deliver_causal_releases t releases =
    counters to the agreed bases. Entries already delivered locally are
    skipped via the counters. *)
 and force_apply_window t ~joiner ~r_base ~c_base window =
+  (* Deliveries below the bases are covered by the flush or the snapshot's
+     state transfer: tell the monitors before the counters jump. *)
+  Audit.Log.advance t.group.g_audit ~at:(a_now t) ~site:t.me ~origin:joiner
+    ~r_upto:r_base ~c_upto:c_base;
   let reliable, ordered =
     List.partition (fun e -> e.e_id.Msg_id.cls = Msg_id.Reliable) window
   in
@@ -294,11 +343,13 @@ and force_apply_window t ~joiner ~r_base ~c_base window =
   List.iter
     (fun e ->
       if e.e_id.Msg_id.seq >= Fifo_state.expected t.fifo ~origin:joiner then
-        app_deliver t ~id:e.e_id ~vc:None ~global_seq:None (User e.e_payload))
+        app_deliver ~flush:true t ~id:e.e_id ~vc:None ~global_seq:None
+          (User e.e_payload))
     (List.sort by_seq reliable);
   let released_r = Fifo_state.fast_forward t.fifo ~origin:joiner ~next_seq:r_base in
   List.iter
-    (fun (_, (id, payload)) -> app_deliver t ~id ~vc:None ~global_seq:None payload)
+    (fun (_, (id, payload)) ->
+      app_deliver ~flush:true t ~id ~vc:None ~global_seq:None payload)
     released_r;
   let delivered = Vc.get (Delay_queue.delivered_vc t.delay) joiner in
   List.iter
@@ -308,8 +359,12 @@ and force_apply_window t ~joiner ~r_base ~c_base window =
           t.app_cut.(joiner) <- e.e_id.Msg_id.seq;
         match e.e_id.Msg_id.cls, e.e_vc with
         | Msg_id.Causal, vc ->
-          app_deliver t ~id:e.e_id ~vc ~global_seq:None (User e.e_payload)
-        | Msg_id.Total, Some vc -> total_arrival t e.e_id vc (User e.e_payload)
+          app_deliver ~flush:true t ~id:e.e_id ~vc ~global_seq:None
+            (User e.e_payload)
+        | Msg_id.Total, Some vc ->
+          Audit.Log.pass t.group.g_audit ~at:(a_now t) ~site:t.me
+            ~origin:joiner ~seq:e.e_id.Msg_id.seq ~vc ~flush:true;
+          total_arrival t e.e_id vc (User e.e_payload)
         | Msg_id.Total, None | Msg_id.Reliable, _ -> assert false
       end)
     (List.sort by_seq ordered);
@@ -552,6 +607,20 @@ and joiner_install t ~commit_id jc =
   ignore (Order_state.adopt t.orders snap.snap_orders);
   t.sent_c <- snap.snap_cut.(t.me);
   t.sent_r <- List.assoc t.me snap.snap_r_expected;
+  if Audit.Log.enabled t.group.g_audit then begin
+    let r_next = Array.make n 0 in
+    List.iter
+      (fun (origin, next_seq) -> if origin < n then r_next.(origin) <- next_seq)
+      snap.snap_r_expected;
+    Audit.Log.reset t.group.g_audit ~at:(a_now t) ~site:t.me
+      ~cut:(Array.copy snap.snap_cut) ~r_next
+      ~next_total:snap.snap_next_total;
+    (* The commit itself was consumed raw, outside the delay queue — the
+       flush delivery keeps the agreement monitor honest about it. *)
+    Audit.Log.deliver t.group.g_audit ~at:(a_now t) ~site:t.me
+      ~origin:commit_id.Msg_id.origin ~cls:(audit_cls commit_id.Msg_id.cls)
+      ~seq:commit_id.Msg_id.seq ~vc:None ~global_seq:None ~flush:true
+  end;
   (match t.snap_install with
   | Some install -> install snap.snap_app
   | None -> invalid_arg "Endpoint: snapshot hooks not installed");
@@ -667,7 +736,20 @@ and handle_app t ~src ~id ~vc payload =
       in
       match Delay_queue.offer t.delay ~origin:id.Msg_id.origin ~vc:stamp (id, payload) with
       | Delay_queue.Ready releases -> deliver_causal_releases t releases
-      | Delay_queue.Buffered | Delay_queue.Duplicate -> ()
+      | Delay_queue.Buffered ->
+        (* Planted causal inversion: site 1 delivers the first causal
+           message the delay queue correctly held back — i.e. ahead of a
+           message it causally depends on. *)
+        if
+          t.group.g_bug_causal && t.me = 1
+          && (not t.bug_causal_fired)
+          && id.Msg_id.cls = Msg_id.Causal
+        then begin
+          t.bug_causal_fired <- true;
+          deliver_causal_releases t
+            [ { Delay_queue.origin = id.Msg_id.origin; vc = stamp; payload = (id, payload) } ]
+        end
+      | Delay_queue.Duplicate -> ()
     end
   end
 
@@ -717,12 +799,19 @@ let rec schedule_timers t =
 (* Crash / recovery *)
 
 let crash group s =
+  Audit.Log.fault_crash group.g_audit ~at:(Sim.Engine.now group.g_engine) ~site:s;
   Net.Network.crash group.g_net s;
   let t = group.g_eps.(s) in
   t.alive <- false
 
-let partition group sites = Net.Network.partition group.g_net sites
-let heal group = Net.Network.heal group.g_net
+let partition group sites =
+  Audit.Log.fault_partition group.g_audit ~at:(Sim.Engine.now group.g_engine)
+    ~group:sites;
+  Net.Network.partition group.g_net sites
+
+let heal group =
+  Audit.Log.fault_heal group.g_audit ~at:(Sim.Engine.now group.g_engine);
+  Net.Network.heal group.g_net
 let set_loss group loss = Net.Network.set_loss group.g_net loss
 
 let rec joiner_retry t =
@@ -735,6 +824,8 @@ let rec joiner_retry t =
   end
 
 let recover group s =
+  Audit.Log.fault_recover group.g_audit ~at:(Sim.Engine.now group.g_engine)
+    ~site:s;
   Net.Network.recover group.g_net s;
   let t = group.g_eps.(s) in
   if not t.alive then begin
@@ -759,7 +850,9 @@ let recover group s =
 
 let create_group (type a) engine ~n ~latency ?(classify = fun (_ : a) -> "app")
     ?(hb_interval = Sim.Time.of_ms 50) ?(suspect_after = Sim.Time.of_ms 200)
-    ?(flood = false) ?loss ?(obs = Obs.Registry.disabled) () : a group =
+    ?(flood = false) ?loss ?(obs = Obs.Registry.disabled)
+    ?(audit = Audit.Log.none) ?(bug_causal_inversion = false)
+    ?(bug_total_divergence = false) () : a group =
   let net =
     Net.Network.create engine ~n ~latency ~classify:(classify_wire classify)
       ?loss ()
@@ -772,6 +865,9 @@ let create_group (type a) engine ~n ~latency ?(classify = fun (_ : a) -> "app")
       g_hb = hb_interval;
       g_suspect = suspect_after;
       g_flood = flood;
+      g_audit = audit;
+      g_bug_causal = bug_causal_inversion;
+      g_bug_total = bug_total_divergence;
       g_eps = [||];
     }
   in
@@ -814,6 +910,9 @@ let create_group (type a) engine ~n ~latency ?(classify = fun (_ : a) -> "app")
       c_bcast_t = counter "bcast_total";
       c_deliver = counter "app_deliver";
       c_view = counter "view_change";
+      bug_causal_fired = false;
+      bug_held = None;
+      bug_total_fired = false;
     }
   in
   group.g_eps <- Array.init n make_endpoint;

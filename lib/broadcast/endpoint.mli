@@ -52,6 +52,9 @@ val create_group :
   ?flood:bool ->
   ?loss:Net.Network.loss ->
   ?obs:Obs.Registry.t ->
+  ?audit:Audit.Log.t ->
+  ?bug_causal_inversion:bool ->
+  ?bug_total_divergence:bool ->
   unit ->
   'a group
 (** [classify] labels application payloads for message accounting.
@@ -62,7 +65,13 @@ val create_group :
     atomic at send time, so flooding is about cost modelling, not
     correctness. [obs] (default disabled) receives per-site
     [bcast_reliable]/[bcast_causal]/[bcast_total], [app_deliver] and
-    [view_change] counters. *)
+    [view_change] counters. [audit] (default disabled) receives the full
+    message-lineage event stream — sends, per-site deliveries, order
+    assignments, join re-basing and fault marks — checked online by
+    {!Audit.Log}'s contract monitors. The [bug_*] flags plant deliberate
+    ordering violations at site 1 (deliver a held-back causal message
+    early; swap two consecutive total-order slots) so tests can prove the
+    monitors catch them at the first offending delivery. *)
 
 val endpoints : 'a group -> 'a t array
 val stats : 'a group -> Net.Net_stats.t
@@ -107,12 +116,14 @@ val set_snapshot_hooks :
     coordinator); [install] replaces the application state at a joining
     site. Required if {!recover} is used. *)
 
-val broadcast : 'a t -> cls -> 'a -> stamp
+val broadcast : ?txn:int * int -> 'a t -> cls -> 'a -> stamp
 (** Broadcast a payload with the given ordering class. Returns the stamp of
     the outgoing message — the causal replication protocol needs the stamp
     of its own commit requests to recognize implicit acknowledgments.
-    Raises [Invalid_argument] if this site is crashed or not yet
-    initialized after a recovery. *)
+    [txn] tags the message with its originating transaction in the audit
+    lineage (see {!Audit.Event}), feeding per-transaction message-cost
+    accounting. Raises [Invalid_argument] if this site is crashed or not
+    yet initialized after a recovery. *)
 
 val view : 'a t -> View.t
 val is_primary : 'a t -> bool

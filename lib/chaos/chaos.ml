@@ -11,6 +11,7 @@ type cfg = {
   drain_limit : Sim.Time.t;
   shrink_budget : int;
   planted_bug : bool;
+  audit : bool;
 }
 
 let default_cfg =
@@ -31,6 +32,7 @@ let default_cfg =
     drain_limit = Sim.Time.of_sec 5.0;
     shrink_budget = 64;
     planted_bug = false;
+    audit = false;
   }
 
 type case = {
@@ -71,18 +73,44 @@ let spec_of_case cfg case =
   in
   R.spec ~config ~profile:cfg.profile ~txns_per_site:cfg.txns_per_site
     ~mpl:cfg.mpl ~seed:case.seed ~events:(Fault_plan.events case.plan)
-    ~drain_limit:cfg.drain_limit ~n_sites:case.n_sites case.protocol
+    ~drain_limit:cfg.drain_limit ~collect_audit:cfg.audit ~n_sites:case.n_sites
+    case.protocol
 
-let run_case cfg case = R.check_execution (R.run (spec_of_case cfg case))
+(* One case's judgement: the end-to-end execution checks always; the
+   broadcast-contract monitors additionally when [cfg.audit] is on. *)
+type verdict = {
+  check : Verify.Check.report;
+  audit_report : Audit.Log.report option;
+}
+
+let verdict_ok v =
+  Verify.Check.ok v.check
+  && (match v.audit_report with
+     | None -> true
+     | Some r -> Audit.Log.report_ok r)
+
+let verdict_summary v =
+  match v.audit_report with
+  | None -> Verify.Check.summary v.check
+  | Some r ->
+    Verify.Check.summary v.check ^ " | audit: " ^ Audit.Log.summary r
+
+let run_case cfg case =
+  let result = R.run (spec_of_case cfg case) in
+  {
+    check = R.check_execution result;
+    audit_report =
+      (if cfg.audit then Some (Audit.Log.finalize result.R.audit) else None);
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Shrinking *)
 
 type failure = {
   case : case;
-  report : Verify.Check.report;
+  report : verdict;
   shrunk : case;
-  shrunk_report : Verify.Check.report;
+  shrunk_report : verdict;
   shrink_runs : int;
 }
 
@@ -100,7 +128,7 @@ let shrink cfg case report =
           decr budget;
           let case' = { case with plan = plan' } in
           let report' = run_case cfg case' in
-          if Verify.Check.ok report' then try_candidates rest
+          if verdict_ok report' then try_candidates rest
           else go case' report'
         end
     in
@@ -119,7 +147,7 @@ let run_seed cfg ~seed =
     (fun protocol ->
       let case = case_of_seed cfg protocol ~seed in
       let report = run_case cfg case in
-      if Verify.Check.ok report then None else Some (shrink cfg case report))
+      if verdict_ok report then None else Some (shrink cfg case report))
     cfg.protocols
 
 let fuzz cfg ~seeds =
@@ -176,11 +204,10 @@ let case_of_repro line =
 
 let failure_lines f =
   [
-    Printf.sprintf "FAIL %s :: %s" (repro f.case)
-      (Verify.Check.summary f.report);
+    Printf.sprintf "FAIL %s :: %s" (repro f.case) (verdict_summary f.report);
     Printf.sprintf "  shrunk (%d runs) -> %s :: %s" f.shrink_runs
       (repro f.shrunk)
-      (Verify.Check.summary f.shrunk_report);
+      (verdict_summary f.shrunk_report);
   ]
 
 let render outcome =

@@ -34,12 +34,16 @@ type cfg = {
   planted_bug : bool;
       (** enable {!Repdb.Config.atomic_premature_ack} — the harness
           self-test: the checkers must catch and shrink it *)
+  audit : bool;
+      (** also run the {!Audit.Log} broadcast-contract monitors on every
+          case: a monitor violation fails (and shrinks) the case exactly
+          like a serializability violation *)
 }
 
 val default_cfg : cfg
 (** 4/5/7 sites, 60 txns/site at mpl 2 over a 64-key contended workload,
     25% read-only; up to 3 episodes; the three broadcast protocols;
-    shrink budget 64; no planted bug. *)
+    shrink budget 64; no planted bug; audit off. *)
 
 type case = {
   protocol : Repdb.Protocol.id;
@@ -56,18 +60,28 @@ val case_of_seed : cfg -> Repdb.Protocol.id -> seed:int -> case
 
 val spec_of_case : cfg -> case -> Exper.Runner.spec
 
-val run_case : cfg -> case -> Verify.Check.report
+type verdict = {
+  check : Verify.Check.report;  (** the end-to-end execution checks *)
+  audit_report : Audit.Log.report option;
+      (** the broadcast-contract monitors' report — [Some] iff
+          [cfg.audit] *)
+}
+
+val verdict_ok : verdict -> bool
+val verdict_summary : verdict -> string
+
+val run_case : cfg -> case -> verdict
 (** Run and judge one case. Deterministic. *)
 
 type failure = {
   case : case;  (** as generated *)
-  report : Verify.Check.report;
+  report : verdict;
   shrunk : case;  (** locally minimal failing case (same seed/protocol) *)
-  shrunk_report : Verify.Check.report;
+  shrunk_report : verdict;
   shrink_runs : int;  (** extra runs the shrinker spent *)
 }
 
-val shrink : cfg -> case -> Verify.Check.report -> failure
+val shrink : cfg -> case -> verdict -> failure
 
 type outcome = { seeds : int; cases : int; failures : failure list }
 

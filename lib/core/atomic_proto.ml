@@ -7,6 +7,9 @@ type outcome = Protocol_intf.outcome
 
 let name = "atomic"
 
+(* Tag audit-lineage sends with their originating transaction. *)
+let atxn (txn : Txn_id.t) = (txn.Txn_id.origin, txn.Txn_id.local)
+
 type active_export = {
   ax_txn : Txn_id.t;
   ax_writes : (Op.key * Op.value) list;
@@ -179,6 +182,9 @@ let create engine config ~history =
       ~suspect_after:config.Config.suspect_after ~flood:config.Config.flood
       ?loss:config.Config.loss
       ~obs:(Obs.Recorder.registry config.Config.obs)
+      ~audit:config.Config.audit
+      ~bug_causal_inversion:config.Config.bug_causal_inversion
+      ~bug_total_divergence:config.Config.bug_total_divergence
       ()
   in
   let make_site site =
@@ -262,15 +268,17 @@ let submit t ~origin spec ~on_done =
     Obs_hooks.phase (obs t) ~now:(now t) ~site:origin txn Obs.Span.Broadcast;
     if t.config.Config.atomic_batch_writes then
       ignore
-        (Endpoint.broadcast st.ep `Total
+        (Endpoint.broadcast ~txn:(atxn txn) st.ep `Total
            (Commit_req { txn; read_versions; batched_writes = Some writes }))
     else begin
       List.iter
         (fun (key, value) ->
-          ignore (Endpoint.broadcast st.ep `Causal (Write { txn; key; value })))
+          ignore
+            (Endpoint.broadcast ~txn:(atxn txn) st.ep `Causal
+               (Write { txn; key; value })))
         writes;
       ignore
-        (Endpoint.broadcast st.ep `Total
+        (Endpoint.broadcast ~txn:(atxn txn) st.ep `Total
            (Commit_req { txn; read_versions; batched_writes = None }))
     end;
     (* Planted bug: acknowledge before the total order has delivered (and

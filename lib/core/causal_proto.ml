@@ -135,9 +135,12 @@ let part_of st ~txn ~origin =
     Txn_id.Tbl.add st.part txn p;
     p
 
-let bcast st payload =
+let bcast ?txn st payload =
   st.my_bcasts <- st.my_bcasts + 1;
-  ignore (Endpoint.broadcast st.ep `Causal payload)
+  ignore (Endpoint.broadcast ?txn st.ep `Causal payload)
+
+(* Tag audit-lineage sends with their originating transaction. *)
+let atxn (txn : Txn_id.t) = (txn.Txn_id.origin, txn.Txn_id.local)
 
 let finish_at_origin t st txn outcome =
   match Txn_id.Tbl.find_opt st.orig txn with
@@ -244,7 +247,7 @@ let scan_pending t st =
 let send_nack st p =
   if not p.p_nack_sent then begin
     p.p_nack_sent <- true;
-    bcast st (Nack { txn = p.p_txn })
+    bcast ~txn:(atxn p.p_txn) st (Nack { txn = p.p_txn })
   end
 
 let handle_write t st ~txn ~origin ~key ~value ~stamp =
@@ -285,7 +288,7 @@ let handle_write t st ~txn ~origin ~key ~value ~stamp =
         let participants =
           Broadcast.View.members_list (Endpoint.view st.ep)
         in
-        bcast st (Commit_req { txn; participants })
+        bcast ~txn:(atxn txn) st (Commit_req { txn; participants })
       end
     | Some _ | None -> ()
   end
@@ -331,7 +334,7 @@ let note_nack t st p ~nacker ~witnesses =
   if (not p.p_nack_sent) && (not p.p_echo_sent) && Endpoint.is_ready st.ep
   then begin
     p.p_echo_sent <- true;
-    bcast st (Nack_echo { txn = p.p_txn; nacker })
+    bcast ~txn:(atxn p.p_txn) st (Nack_echo { txn = p.p_txn; nacker })
   end;
   check_decision t st p
 
@@ -459,6 +462,9 @@ let create engine config ~history =
       ~suspect_after:config.Config.suspect_after ~flood:config.Config.flood
       ?loss:config.Config.loss
       ~obs:(Obs.Recorder.registry config.Config.obs)
+      ~audit:config.Config.audit
+      ~bug_causal_inversion:config.Config.bug_causal_inversion
+      ~bug_total_divergence:config.Config.bug_total_divergence
       ()
   in
   let make_site site =
@@ -549,7 +555,7 @@ let submit t ~origin spec ~on_done =
         Obs_hooks.phase (obs t) ~now:(now t) ~site:origin txn
           Obs.Span.Broadcast;
         List.iter
-          (fun (key, value) -> bcast st (Write { txn; key; value }))
+          (fun (key, value) -> bcast ~txn:(atxn txn) st (Write { txn; key; value }))
           writes
         (* the commit request follows from [handle_write] after the last
            self-delivery *)

@@ -11,6 +11,9 @@ type t = {
   atomic_premature_ack : bool;
   loss : Net.Network.loss option;
   obs : Obs.Recorder.t;
+  audit : Audit.Log.t;
+  bug_causal_inversion : bool;
+  bug_total_divergence : bool;
 }
 
 let default ~n_sites =
@@ -27,4 +30,7 @@ let default ~n_sites =
     atomic_premature_ack = false;
     loss = None;
     obs = Obs.Recorder.none;
+    audit = Audit.Log.none;
+    bug_causal_inversion = false;
+    bug_total_divergence = false;
   }

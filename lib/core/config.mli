@@ -38,6 +38,21 @@ type t = {
           every protocol layer. Defaults to the disabled
           {!Obs.Recorder.none} — one predictable branch per
           instrumentation point, nothing recorded. *)
+  audit : Audit.Log.t;
+      (** message-lineage audit log: every broadcast send/deliver/order
+          event, checked online against the primitive's contract (see
+          {!Audit.Log}). Defaults to the disabled {!Audit.Log.none} — same
+          one-branch discipline as [obs]. *)
+  bug_causal_inversion : bool;
+      (** {b Planted bug — never enable outside tests.} Site 1's broadcast
+          endpoint delivers the first causal message its delay queue
+          correctly held back, i.e. before a message it causally depends
+          on. The audit causal-order monitor must flag the very delivery. *)
+  bug_total_divergence : bool;
+      (** {b Planted bug — never enable outside tests.} Site 1's broadcast
+          endpoint swaps two consecutive ready total-order slots, so its
+          delivery sequence diverges from every other site's. The audit
+          total-order monitor must flag the first swapped delivery. *)
 }
 
 val default : n_sites:int -> t

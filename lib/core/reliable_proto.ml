@@ -7,6 +7,9 @@ type outcome = Protocol_intf.outcome
 
 let name = "reliable"
 
+(* Tag audit-lineage sends with their originating transaction. *)
+let atxn (txn : Txn_id.t) = (txn.Txn_id.origin, txn.Txn_id.local)
+
 type active_export = {
   ax_txn : Txn_id.t;
   ax_origin : Site_id.t;
@@ -193,7 +196,7 @@ let check_decision t st p =
 let cast_vote st p =
   let yes = not p.p_refused in
   ignore
-    (Endpoint.broadcast st.ep `Reliable
+    (Endpoint.broadcast ~txn:(atxn p.p_txn) st.ep `Reliable
        (Vote { txn = p.p_txn; voter = Site_core.site st.core; yes }))
 
 let handle_write t st ~txn ~origin ~key ~value =
@@ -236,7 +239,9 @@ let note_no t st p ~voter ~witnesses =
       p.p_no_witnesses witnesses;
   if (not p.p_echo_sent) && Endpoint.is_ready st.ep then begin
     p.p_echo_sent <- true;
-    ignore (Endpoint.broadcast st.ep `Reliable (No_echo { txn = p.p_txn; voter }))
+    ignore
+      (Endpoint.broadcast ~txn:(atxn p.p_txn) st.ep `Reliable
+         (No_echo { txn = p.p_txn; voter }))
   end;
   check_decision t st p
 
@@ -364,7 +369,9 @@ let create engine config ~history =
       ~suspect_after:config.Config.suspect_after ~flood:config.Config.flood
       ?loss:config.Config.loss
       ~obs:(Obs.Recorder.registry config.Config.obs)
-      ()
+      ~audit:config.Config.audit
+      ~bug_causal_inversion:config.Config.bug_causal_inversion
+      ~bug_total_divergence:config.Config.bug_total_divergence ()
   in
   let make_site site =
     {
@@ -446,13 +453,16 @@ let submit t ~origin spec ~on_done =
           Obs.Span.Broadcast;
         List.iter
           (fun (key, value) ->
-            ignore (Endpoint.broadcast st.ep `Reliable (Write { txn; key; value })))
+            ignore
+              (Endpoint.broadcast ~txn:(atxn txn) st.ep `Reliable
+                 (Write { txn; key; value })))
           writes;
         let participants =
           Broadcast.View.members_list (Endpoint.view st.ep)
         in
         ignore
-          (Endpoint.broadcast st.ep `Reliable (Commit_req { txn; participants }))
+          (Endpoint.broadcast ~txn:(atxn txn) st.ep `Reliable
+             (Commit_req { txn; participants }))
       end);
     txn
   end

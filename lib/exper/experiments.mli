@@ -1,6 +1,6 @@
 (** The paper's evaluation, reproduced as tables.
 
-    One function per experiment in DESIGN.md's index (E1–E12); each returns
+    One function per experiment in DESIGN.md's index (E1–E14); each returns
     the rendered table(s) that `bench/main.exe` prints and EXPERIMENTS.md
     records. [quick] shrinks the workloads for use inside the test suite;
     the default sizes are what the committed EXPERIMENTS.md numbers come
@@ -58,6 +58,16 @@ val e13_phase_breakdown : ?quick:bool -> unit -> Stats.Table.t
     vote/ack-collection spans at the origin, plus the decide-to-last-apply
     replication lag — percentiles from the span recorder's fixed-bucket
     histograms (EXPERIMENTS.md maps each phase to the paper's claims). *)
+
+val e14_audit_complexity : ?quick:bool -> unit -> Stats.Table.t
+(** The audit layer's accounting against the paper's closed-form claims:
+    per committed update transaction, broadcasts tagged by its lineage,
+    sequencer ordering messages, and broadcast-round depth measured over
+    the delivery DAG — all under constant link latency so the measured
+    values must {e equal} the analytical counts ([w+1+n] reliable
+    broadcasts in two rounds, [w+1] causal in two, [w+1] atomic plus one
+    ordering message in one). The last column is the online
+    broadcast-contract monitors' verdict for the run. *)
 
 val registry : (string * (?quick:bool -> unit -> Stats.Table.t)) list
 (** The experiments above, keyed by their DESIGN.md identifiers, in order,

@@ -19,11 +19,12 @@ type spec = {
   events : (Sim.Time.t * event) list;
   drain_limit : Sim.Time.t;
   collect_spans : bool;
+  collect_audit : bool;
 }
 
 let spec ?config ?(profile = Workload.default) ?(txns_per_site = 200) ?(mpl = 2)
     ?(seed = 42) ?background_rate ?(events = []) ?(drain_limit = Sim.Time.of_sec 30.0)
-    ?(collect_spans = false) ~n_sites protocol =
+    ?(collect_spans = false) ?(collect_audit = false) ~n_sites protocol =
   {
     protocol;
     config = Option.value config ~default:(Repdb.Config.default ~n_sites);
@@ -35,6 +36,7 @@ let spec ?config ?(profile = Workload.default) ?(txns_per_site = 200) ?(mpl = 2)
     events;
     drain_limit;
     collect_spans;
+    collect_audit;
   }
 
 type result = {
@@ -50,12 +52,14 @@ type result = {
   datagrams : int;
   broadcasts : int;
   per_category : (string * int) list;
+  drops_by_category : (string * int) list;
   deadlocks : int;
   decision_series : (float * float) list;
   background_committed : int;
   history : History.t;
   stores : (Net.Site_id.t * Db.Version_store.t) list;
   recorder : Obs.Recorder.t;
+  audit : Audit.Log.t;
 }
 
 let run s =
@@ -67,7 +71,11 @@ let run s =
   let recorder =
     if s.collect_spans then Obs.Recorder.create () else s.config.Repdb.Config.obs
   in
-  let config = { s.config with Repdb.Config.obs = recorder } in
+  let audit =
+    if s.collect_audit then Audit.Log.create ~n:s.config.Repdb.Config.n_sites
+    else s.config.Repdb.Config.audit
+  in
+  let config = { s.config with Repdb.Config.obs = recorder; audit } in
   let system = P.create engine config ~history in
   let n = s.config.Repdb.Config.n_sites in
   let committed = ref 0
@@ -207,6 +215,10 @@ let run s =
   (* Balance the trace: transactions the run left undecided (crashed
      origin, drain limit) still have open phase spans. *)
   Obs.Recorder.close_dangling recorder ~at:(Sim.Engine.now engine);
+  (* Freeze the audit verdict: the agreement monitor judges end-of-run
+     state, so it must run after the drain grace. Idempotent, and a no-op
+     on the disabled log. *)
+  ignore (Audit.Log.finalize audit);
 
   let elapsed_sec = Sim.Time.to_sec !last_decision in
   let reasons =
@@ -238,6 +250,7 @@ let run s =
     datagrams = Net.Net_stats.datagrams net;
     broadcasts = Net.Net_stats.broadcasts net;
     per_category = Net.Net_stats.by_category net;
+    drops_by_category = Net.Net_stats.drops_by_category net;
     deadlocks = P.deadlocks system;
     decision_series = List.rev !series;
     background_committed = !bg_committed;
@@ -247,6 +260,7 @@ let run s =
         (fun site -> if down.(site) then None else Some (site, P.store system site))
         (Net.Site_id.all ~n);
     recorder;
+    audit;
   }
 
 let check_execution ?require_all_decided ?deadlock_free result =

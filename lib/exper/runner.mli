@@ -32,6 +32,12 @@ type spec = {
           installs a fresh {!Obs.Recorder} (returned in the result) in
           place of the config's. Off by default — instrumentation then
           costs one branch per event. *)
+  collect_audit : bool;
+      (** record the message-lineage audit log and run its online
+          broadcast-contract monitors: the run installs a fresh
+          {!Audit.Log} (returned in the result, already finalized) in
+          place of the config's. Off by default — same one-branch
+          discipline as [collect_spans]. *)
 }
 
 val spec :
@@ -44,12 +50,13 @@ val spec :
   ?events:(Sim.Time.t * event) list ->
   ?drain_limit:Sim.Time.t ->
   ?collect_spans:bool ->
+  ?collect_audit:bool ->
   n_sites:int ->
   Repdb.Protocol.id ->
   spec
 (** Defaults: the {!Repdb.Config.default} for [n_sites], default workload
     profile, 200 transactions per site, mpl 2, seed 42, no background, no
-    events, 30s drain, spans off. *)
+    events, 30s drain, spans off, audit off. *)
 
 type result = {
   protocol_name : string;
@@ -64,6 +71,9 @@ type result = {
   datagrams : int;
   broadcasts : int;
   per_category : (string * int) list;
+  drops_by_category : (string * int) list;
+      (** datagrams dropped by the loss model, by message category —
+          all zeros unless the run configured {!Net.Network.loss} *)
   deadlocks : int;  (** baseline's detector count; 0 for the others *)
   decision_series : (float * float) list;
       (** per committed update transaction: (decision time in seconds,
@@ -76,6 +86,11 @@ type result = {
       (** the run's span/metrics recorder — disabled unless the spec set
           [collect_spans]; feed {!Obs.Recorder.events} to
           {!Obs.Span_stats.of_events} or {!Obs.Export} *)
+  audit : Audit.Log.t;
+      (** the run's audit log — disabled unless the spec set
+          [collect_audit]; already finalized, so {!Audit.Log.finalize}
+          returns the frozen verdict and {!Audit.Log.events} the delivery
+          DAG (feed it to {!Audit.Accounting}) *)
 }
 
 val run : spec -> result

@@ -83,7 +83,7 @@ let ring_to_json (entry : Sim.Trace.entry) =
   let body = Sim.Trace.entry_to_json entry in
   "{\"stream\":\"trace\"," ^ String.sub body 1 (String.length body - 1)
 
-let jsonl ?ring events =
+let jsonl ?ring ?(extra = []) events =
   let span_lines =
     List.map (fun e -> (Sim.Time.to_us e.Span.at, span_to_json e)) events
   in
@@ -97,11 +97,11 @@ let jsonl ?ring events =
         (Sim.Trace.entries trace)
   in
   (* stable merge by timestamp: within a tie, span lines keep their
-     emission order and ring lines theirs *)
+     emission order, ring lines theirs and extra lines theirs *)
   let lines =
     List.stable_sort
       (fun (a, _) (b, _) -> compare a b)
-      (span_lines @ ring_lines)
+      (span_lines @ ring_lines @ extra)
   in
   let buf = Buffer.create 65536 in
   List.iter
@@ -109,6 +109,60 @@ let jsonl ?ring events =
       Buffer.add_string buf line;
       Buffer.add_char buf '\n')
     lines;
+  Buffer.contents buf
+
+(* JSON numbers cannot be inf/nan; %g exponent notation is valid JSON. *)
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%g" f
+  else if f > 0.0 then "\"+inf\""
+  else if f < 0.0 then "\"-inf\""
+  else "\"nan\""
+
+let metrics_json registry =
+  let labels_json labels =
+    String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+         labels)
+  in
+  let series_json ((s : Registry.series), dumped) =
+    let head =
+      Printf.sprintf "{\"name\":\"%s\",\"labels\":{%s}"
+        (json_escape s.Registry.s_name)
+        (labels_json s.Registry.s_labels)
+    in
+    match dumped with
+    | Registry.Counter n -> Printf.sprintf "%s,\"kind\":\"counter\",\"value\":%d}" head n
+    | Registry.Gauge v ->
+      Printf.sprintf "%s,\"kind\":\"gauge\",\"value\":%s}" head (json_float v)
+    | Registry.Histogram h ->
+      let buckets =
+        List.filter_map
+          (fun (bound, count) ->
+            if count = 0 then None
+            else Some (Printf.sprintf "[%s,%d]" (json_float bound) count))
+          (Hist.bucket_counts h)
+      in
+      Printf.sprintf
+        "%s,\"kind\":\"histogram\",\"count\":%d,\"sum\":%s,\"mean\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s,\"buckets\":[%s]}"
+        head (Hist.count h)
+        (json_float (Hist.sum h))
+        (json_float (Hist.mean h))
+        (json_float (Hist.percentile h 0.5))
+        (json_float (Hist.percentile h 0.95))
+        (json_float (Hist.percentile h 0.99))
+        (String.concat "," buckets)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"stream\":\"metrics\",\"schema\":1,\"series\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n";
+      Buffer.add_string buf (series_json s))
+    (Registry.dump registry);
+  Buffer.add_string buf "\n]}\n";
   Buffer.contents buf
 
 let validate events =
@@ -147,9 +201,9 @@ let validate events =
   in
   go Sim.Time.zero events
 
-let write_file ~path ?ring events =
+let write_file ~path ?ring ?extra events =
   let contents =
-    if Filename.check_suffix path ".jsonl" then jsonl ?ring events
+    if Filename.check_suffix path ".jsonl" then jsonl ?ring ?extra events
     else chrome_trace events
   in
   let oc = open_out path in

@@ -14,16 +14,34 @@ val chrome_trace : Span.event list -> string
     balanced — run {!validate} first, or produce them via {!Recorder}
     (balanced by construction once [close_dangling] ran). *)
 
-val jsonl : ?ring:Sim.Trace.t -> Span.event list -> string
+val jsonl :
+  ?ring:Sim.Trace.t -> ?extra:(int * string) list -> Span.event list -> string
 (** One JSON object per line. With [ring], the legacy {!Sim.Trace} entries
     are merged in by timestamp, so both streams correlate in one file;
-    span lines carry ["stream":"span"], ring lines ["stream":"trace"]. *)
+    span lines carry ["stream":"span"], ring lines ["stream":"trace"].
+    [extra] lines — (timestamp in µs, complete JSON object) pairs, e.g.
+    [Audit.Log.export_lines] — are merged into the same timestamp order
+    (ties keep each stream's own emission order). *)
+
+val metrics_json : Registry.t -> string
+(** The registry's {!Registry.dump} as one JSON document
+    ([{"stream":"metrics","schema":1,"series":[...]}]): counters and
+    gauges with their value, histograms with count/sum/mean, the standard
+    percentiles and their non-empty buckets (the overflow bound renders as
+    the string ["+inf"]). Series order is the dump's canonical
+    (name, labels) order, so the document is deterministic. *)
 
 val validate : Span.event list -> (unit, string) result
 (** Structural checks an exported trace must pass: non-decreasing
     timestamps in emission order, every [End] matching an open [Begin] of
     the same (txn, site), and nothing left open at the end. *)
 
-val write_file : path:string -> ?ring:Sim.Trace.t -> Span.event list -> unit
+val write_file :
+  path:string ->
+  ?ring:Sim.Trace.t ->
+  ?extra:(int * string) list ->
+  Span.event list ->
+  unit
 (** Dispatch on extension: [.jsonl] gets {!jsonl}, anything else Chrome
-    trace JSON (the [ring] is ignored there — Chrome has no place for it). *)
+    trace JSON ([ring] and [extra] are ignored there — Chrome has no
+    place for them). *)

@@ -7,23 +7,116 @@ Accepts both formats `repdb_sim --trace` writes:
               {"stream":"span","ts_us":...,"site":...,"txn":...,
                "phase":...,"kind":"B"|"E"|"i"}; lines with
               "stream":"trace" are the legacy ring trace, merged in
-              by timestamp.
+              by timestamp, and lines with "stream":"audit" are the
+              message-lineage audit stream (`run --audit`), led by a
+              schema header carrying its version and site count.
   * (else)    Chrome trace-event JSON: {"traceEvents":[...]} with
-              ph B/E/i/M, pid = site, ts in microseconds.
+              ph B/E/i/M, pid = site, ts in microseconds — or an
+              audit report ({"stream":"audit-report"}, the output of
+              `run --audit-report` / `audit --json`).
 
 Checks, per file:
   - parses at all, and contains at least one event;
   - timestamps are non-decreasing in emission order (metadata events
     excluded — Chrome 'M' events carry no ts);
   - begin/end pairs balance per (pid, tid) lane, ends match an open
-    begin, and nothing is left open at the end.
+    begin, and nothing is left open at the end;
+  - audit lines, when present: exactly one schema header of a known
+    version, every event of a known type with its required fields,
+    site/origin indices within the header's site count;
+  - audit reports: known schema version, counters present, every
+    violation carrying a monitor name and a non-empty causal slice.
 
 Exit status: 0 if every file passes, 1 otherwise. Used by CI on the
-traces produced for each protocol and for a chaos replay.
+traces produced for each protocol and for the audited chaos replays.
 """
 
 import json
 import sys
+
+AUDIT_SCHEMA_VERSION = 1
+
+# Required extra fields per audit event type ("msg" expands to the
+# origin/cls/seq triple every message-carrying event embeds inline).
+AUDIT_EVENT_FIELDS = {
+    "send": ["msg", "vc"],
+    "deliver": ["msg", "site", "vc", "flush"],
+    "pass": ["msg", "site", "vc", "flush"],
+    "order": ["msg", "by", "gseq"],
+    "reset": ["site", "cut", "r_next", "next_total"],
+    "advance": ["site", "origin", "r_upto", "c_upto"],
+    "crash": ["site"],
+    "recover": ["site"],
+    "partition": ["group"],
+    "heal": [],
+}
+
+
+def check_audit_lines(path, lines):
+    """lines: (line_no, parsed object) for every "stream":"audit" line."""
+    headers = [(n, o) for n, o in lines if o.get("type") == "schema"]
+    if len(headers) != 1:
+        return fail(path, f"expected exactly 1 audit schema header, got {len(headers)}")
+    n_line, header = headers[0]
+    if header.get("version") != AUDIT_SCHEMA_VERSION:
+        return fail(
+            path,
+            f"line {n_line}: audit schema version {header.get('version')!r}, "
+            f"expected {AUDIT_SCHEMA_VERSION}",
+        )
+    n_sites = header.get("n_sites")
+    if not isinstance(n_sites, int) or n_sites < 1:
+        return fail(path, f"line {n_line}: bad n_sites {n_sites!r}")
+    events = 0
+    for n, obj in lines:
+        ty = obj.get("type")
+        if ty == "schema":
+            continue
+        if ty not in AUDIT_EVENT_FIELDS:
+            return fail(path, f"line {n}: unknown audit event type {ty!r}")
+        if not isinstance(obj.get("ts_us"), int):
+            return fail(path, f"line {n}: audit event without integer ts_us")
+        for field in AUDIT_EVENT_FIELDS[ty]:
+            if field == "msg":
+                if not (
+                    isinstance(obj.get("origin"), int)
+                    and obj.get("cls") in ("R", "C", "T")
+                    and isinstance(obj.get("seq"), int)
+                ):
+                    return fail(path, f"line {n}: {ty} without a valid message id")
+            elif field not in obj:
+                return fail(path, f"line {n}: {ty} missing {field!r}")
+        for site_field in ("site", "origin", "by"):
+            v = obj.get(site_field)
+            if isinstance(v, int) and not 0 <= v < n_sites:
+                return fail(
+                    path, f"line {n}: {site_field}={v} outside 0..{n_sites - 1}"
+                )
+        events += 1
+    print(f"{path}: audit OK ({events} events, {n_sites} sites)")
+    return True
+
+
+def check_audit_report(path, doc):
+    if doc.get("schema") != AUDIT_SCHEMA_VERSION:
+        return fail(
+            path,
+            f"audit report schema {doc.get('schema')!r}, "
+            f"expected {AUDIT_SCHEMA_VERSION}",
+        )
+    for field in ("n_sites", "events", "sends", "delivers", "violations_total"):
+        if not isinstance(doc.get(field), int):
+            return fail(path, f"audit report missing integer {field!r}")
+    violations = doc.get("violations")
+    if not isinstance(violations, list):
+        return fail(path, "audit report missing violations list")
+    for i, v in enumerate(violations):
+        if not v.get("monitor"):
+            return fail(path, f"violation {i}: no monitor name")
+        if not v.get("slice"):
+            return fail(path, f"violation {i}: empty causal slice")
+    print(f"{path}: audit report OK ({doc['violations_total']} violation(s))")
+    return True
 
 
 def fail(path, msg):
@@ -57,34 +150,43 @@ def check_events(path, events):
     return True
 
 
-def load_chrome(path):
+def check_chrome(path):
     with open(path) as f:
         doc = json.load(f)
+    if isinstance(doc, dict) and doc.get("stream") == "audit-report":
+        return check_audit_report(path, doc)
     if not isinstance(doc, dict) or "traceEvents" not in doc:
-        raise ValueError("not a traceEvents object")
+        raise ValueError("not a traceEvents object or audit report")
     events = []
     for e in doc["traceEvents"]:
         ph = e.get("ph", "")
         if ph == "M":  # metadata (process/thread names): no timestamp
             continue
         events.append((e["ts"], (e.get("pid"), e.get("tid")), ph))
-    return events
+    return check_events(path, events)
 
 
-def load_jsonl(path):
+def check_jsonl(path):
     events = []
+    audit_lines = []
     with open(path) as f:
         for n, line in enumerate(f, 1):
             line = line.strip()
             if not line:
                 continue
             obj = json.loads(line)
-            if obj.get("stream") != "span":
-                continue  # ring-trace lines interleave by design
-            events.append(
-                (obj["ts_us"], (obj.get("site"), obj.get("txn")), obj["kind"])
-            )
-    return events
+            stream = obj.get("stream")
+            if stream == "audit":
+                audit_lines.append((n, obj))
+            elif stream == "span":
+                events.append(
+                    (obj["ts_us"], (obj.get("site"), obj.get("txn")), obj["kind"])
+                )
+            # ring-trace lines interleave by design; nothing to check
+    ok = check_events(path, events)
+    if audit_lines:
+        ok = check_audit_lines(path, audit_lines) and ok
+    return ok
 
 
 def main(paths):
@@ -94,13 +196,11 @@ def main(paths):
     ok = True
     for path in paths:
         try:
-            events = (
-                load_jsonl(path) if path.endswith(".jsonl") else load_chrome(path)
-            )
+            ok = (
+                check_jsonl(path) if path.endswith(".jsonl") else check_chrome(path)
+            ) and ok
         except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
             ok = fail(path, str(e))
-            continue
-        ok = check_events(path, events) and ok
     return 0 if ok else 1
 
 

@@ -1,0 +1,281 @@
+(* The audit layer end to end: planted contract violations caught at the
+   first offending delivery, clean runs staying clean under chaos, the
+   JSON round trip behind offline replay, accounting against the paper's
+   closed forms, and delivery-DAG determinism across pool sizes. *)
+
+module R = Exper.Runner
+module Log = Audit.Log
+module Event = Audit.Event
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let with_jobs n f =
+  Parallel.set_jobs (Some n);
+  Fun.protect ~finally:(fun () -> Parallel.set_jobs None) f
+
+let audited_spec ?(bug_causal = false) ?(bug_total = false) ?(n = 4)
+    ?(txns = 30) ?(mpl = 2) ?(seed = 5) ?events proto =
+  let config =
+    {
+      (Repdb.Config.default ~n_sites:n) with
+      Repdb.Config.bug_causal_inversion = bug_causal;
+      bug_total_divergence = bug_total;
+    }
+  in
+  R.spec ~config ~txns_per_site:txns ~mpl ~seed ?events ~collect_audit:true
+    ~n_sites:n proto
+
+(* ------------------------------------------------------------------ *)
+(* Planted violations: caught at the very first offending delivery *)
+
+(* The first delivery of [v_msg] at [v_site] in the recorded stream — the
+   planted bugs corrupt a single site's delivery order, so the monitor
+   must flag that delivery itself, not a later echo of the damage. *)
+let first_delivery_at events ~site ~msg =
+  List.find_opt
+    (function
+      | Event.Deliver { site = s; msg = m; _ } -> s = site && m = msg
+      | _ -> false)
+    events
+
+let check_planted_violation result ~monitor =
+  let report = Log.finalize result.R.audit in
+  check_bool "monitors flag the planted bug" false (Log.report_ok report);
+  match report.Log.r_violations with
+  | [] -> Alcotest.fail "violation list empty despite failing report"
+  | v :: _ ->
+    check_string "first violation's monitor" monitor v.Log.v_monitor;
+    check_int "flagged at the corrupted site" 1 v.Log.v_site;
+    check_bool "slice is non-empty" true (v.Log.v_slice <> []);
+    let msg =
+      match v.Log.v_msg with
+      | Some m -> m
+      | None -> Alcotest.fail "violation carries no message"
+    in
+    check_bool "slice contains the offending message" true
+      (List.exists (fun (m, _) -> m = msg) v.Log.v_slice);
+    (* Caught at the first offending deliver event: the violation's
+       timestamp is the timestamp of that message's first delivery at the
+       corrupted site. *)
+    (match first_delivery_at (Log.events result.R.audit) ~site:1 ~msg with
+    | None -> Alcotest.fail "offending delivery not in the event stream"
+    | Some e ->
+      check_int "flagged at the offending delivery itself"
+        (Sim.Time.to_us (Event.at e))
+        (Sim.Time.to_us v.Log.v_at))
+
+let test_planted_causal_inversion () =
+  (* Site 1's endpoint delivers the first causal message its delay queue
+     held back — i.e. ahead of a causal dependency. *)
+  let result =
+    R.run (audited_spec ~bug_causal:true Repdb.Protocol.Causal)
+  in
+  check_planted_violation result ~monitor:"causal-order"
+
+let test_planted_total_divergence () =
+  (* Site 1's endpoint swaps two consecutive ready total-order slots, so
+     its delivery sequence diverges from the other sites'. *)
+  let result =
+    R.run (audited_spec ~bug_total:true Repdb.Protocol.Atomic)
+  in
+  check_planted_violation result ~monitor:"total-order"
+
+let test_clean_runs_have_no_bug_to_find () =
+  (* The planted flags off, same specs: the monitors stay silent. *)
+  List.iter
+    (fun proto ->
+      let result = R.run (audited_spec proto) in
+      let report = Log.finalize result.R.audit in
+      if not (Log.report_ok report) then
+        Alcotest.failf "%s: %s" (Repdb.Protocol.name proto)
+          (Log.summary report))
+    Repdb.Protocol.broadcast_based
+
+(* ------------------------------------------------------------------ *)
+(* Chaos stays clean under audit *)
+
+let test_audited_chaos_clean () =
+  let cfg =
+    { Chaos.default_cfg with Chaos.audit = true; txns_per_site = 40 }
+  in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun proto ->
+          let case = Chaos.case_of_seed cfg proto ~seed in
+          let verdict = Chaos.run_case cfg case in
+          if not (Chaos.verdict_ok verdict) then
+            Alcotest.failf "%s fails under audit: %s" (Chaos.repro case)
+              (Chaos.verdict_summary verdict))
+        cfg.Chaos.protocols)
+    [ 0; 1 ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON round trip and offline replay *)
+
+let chaos_audit_events ~seed proto =
+  (* A chaos case so the stream includes fault and membership events
+     (crash/recover, partition/heal, reset/advance on rejoin). *)
+  let cfg =
+    { Chaos.default_cfg with Chaos.audit = true; txns_per_site = 30 }
+  in
+  let case = Chaos.case_of_seed cfg proto ~seed in
+  let result = R.run (Chaos.spec_of_case cfg case) in
+  (case.Chaos.n_sites, result.R.audit)
+
+let test_json_round_trip () =
+  let n, audit = chaos_audit_events ~seed:2 Repdb.Protocol.Atomic in
+  let events = Log.events audit in
+  check_bool "stream is non-trivial" true (List.length events > 100);
+  List.iter
+    (fun e ->
+      match Event.of_json (Event.to_json e) with
+      | Ok e' ->
+        if e' <> e then
+          Alcotest.failf "round trip changed the event: %s" (Event.to_json e)
+      | Error err ->
+        Alcotest.failf "round trip failed (%s): %s" err (Event.to_json e))
+    events;
+  (* The export header round-trips the replay parameters. *)
+  (match Event.parse_schema (Event.schema_line ~n) with
+  | Ok n' -> check_int "schema line carries the site count" n n'
+  | Error e -> Alcotest.failf "schema line does not parse: %s" e);
+  (* Offline replay over the recorded stream reproduces the verdict. *)
+  let live = Log.finalize audit in
+  let replayed = Log.replay ~n events in
+  check_string "replay reproduces the live verdict" (Log.summary live)
+    (Log.summary replayed)
+
+let test_export_lines_shape () =
+  let n, audit = chaos_audit_events ~seed:3 Repdb.Protocol.Causal in
+  ignore n;
+  match Log.export_lines audit with
+  | [] -> Alcotest.fail "export produced nothing"
+  | (ts0, header) :: rest ->
+    check_int "header at time zero" 0 ts0;
+    check_bool "header is the schema line" true (Event.is_schema_line header);
+    check_int "one line per event" (List.length (Log.events audit))
+      (List.length rest);
+    List.iter
+      (fun (_, line) ->
+        check_bool "every line tagged with the audit stream" true
+          (Event.is_audit_line line))
+      rest
+
+(* ------------------------------------------------------------------ *)
+(* Accounting against the closed forms (E14's contract) *)
+
+let test_accounting_matches_analysis () =
+  (* Contention-free update transactions under constant latency: measured
+     per-transaction costs must equal the analytical claims exactly.
+     w = 4 writes, n = 5 sites (see Experiments.e14_audit_complexity). *)
+  let n = 5 and w = 4 in
+  let profile =
+    {
+      Workload.default with
+      Workload.n_keys = 20_000;
+      reads_per_txn = 2;
+      writes_per_txn = w;
+      ro_fraction = 0.0;
+    }
+  in
+  let config =
+    {
+      (Repdb.Config.default ~n_sites:n) with
+      Repdb.Config.latency = Net.Latency.Constant (Sim.Time.of_ms 1);
+    }
+  in
+  List.iter
+    (fun (proto, exp_msgs, exp_orders, exp_rounds) ->
+      let result =
+        R.run
+          (R.spec ~config ~profile ~txns_per_site:12 ~mpl:1 ~seed:14
+             ~collect_audit:true ~n_sites:n proto)
+      in
+      let only =
+        List.filter_map
+          (fun (tr : Verify.History.txn_record) ->
+            match tr.Verify.History.outcome with
+            | Some Verify.History.Committed ->
+              Some
+                ( tr.Verify.History.txn.Db.Txn_id.origin,
+                  tr.Verify.History.txn.Db.Txn_id.local )
+            | _ -> None)
+          (Verify.History.txns result.R.history)
+      in
+      let s =
+        Audit.Accounting.summarize ~only ~n (Log.events result.R.audit)
+      in
+      let name = Repdb.Protocol.name proto in
+      check_bool (name ^ ": accounted every committed txn") true
+        (s.Audit.Accounting.n_txns = result.R.committed
+        && result.R.committed > 0);
+      let exact what stats =
+        match Audit.Accounting.stats_exact stats with
+        | Some v -> v
+        | None ->
+          Alcotest.failf "%s: %s not exact (min %d, max %d)" name what
+            stats.Audit.Accounting.st_min stats.Audit.Accounting.st_max
+      in
+      check_int (name ^ ": broadcasts per txn") exp_msgs
+        (exact "msgs" s.Audit.Accounting.msgs);
+      check_int (name ^ ": order messages per txn") exp_orders
+        (exact "order msgs" s.Audit.Accounting.order_msgs);
+      check_int (name ^ ": broadcast rounds") exp_rounds
+        (exact "rounds" s.Audit.Accounting.rounds))
+    [
+      (Repdb.Protocol.Reliable, w + 1 + n, 0, 2);
+      (Repdb.Protocol.Causal, w + 1, 0, 2);
+      (Repdb.Protocol.Atomic, w + 1, 1, 1);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Delivery-DAG determinism across pool sizes *)
+
+let test_dag_identical_across_pool_sizes () =
+  let render () =
+    let specs =
+      List.map
+        (fun proto -> audited_spec ~txns:20 proto)
+        Repdb.Protocol.broadcast_based
+    in
+    Parallel.map specs ~f:(fun spec ->
+        let result = R.run spec in
+        String.concat "\n"
+          (List.map snd (Log.export_lines result.R.audit)))
+  in
+  let sequential = with_jobs 1 render in
+  let pooled = with_jobs 8 render in
+  List.iter2
+    (fun a b -> check_bool "byte-identical audit stream" true (String.equal a b))
+    sequential pooled
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "audit"
+    [
+      ( "planted",
+        [
+          tc "causal inversion caught at first delivery" `Quick
+            test_planted_causal_inversion;
+          tc "total divergence caught at first delivery" `Quick
+            test_planted_total_divergence;
+          tc "clean runs stay clean" `Quick test_clean_runs_have_no_bug_to_find;
+        ] );
+      ("chaos", [ tc "audited chaos sweep clean" `Slow test_audited_chaos_clean ]);
+      ( "replay",
+        [
+          tc "json round trip + offline replay" `Quick test_json_round_trip;
+          tc "export lines shape" `Quick test_export_lines_shape;
+        ] );
+      ( "accounting",
+        [ tc "matches the closed forms" `Quick test_accounting_matches_analysis ]
+      );
+      ( "determinism",
+        [
+          tc "DAG byte-identical at jobs 1 vs 8" `Quick
+            test_dag_identical_across_pool_sizes;
+        ] );
+    ]

@@ -144,9 +144,9 @@ let test_clean_protocols_pass () =
         (fun proto ->
           let case = Chaos.case_of_seed Chaos.default_cfg proto ~seed in
           let report = Chaos.run_case Chaos.default_cfg case in
-          if not (Verify.Check.ok report) then
+          if not (Chaos.verdict_ok report) then
             Alcotest.failf "%s fails: %s" (Chaos.repro case)
-              (Verify.Check.summary report))
+              (Chaos.verdict_summary report))
         Chaos.default_cfg.Chaos.protocols)
     [ 0; 1; 2 ]
 
@@ -169,9 +169,9 @@ let test_planted_bug_caught_and_shrunk () =
   | [] -> Alcotest.fail "planted bug escaped the checkers"
   | f :: _ ->
     check_bool "original report fails" true
-      (not (Verify.Check.ok f.Chaos.report));
+      (not (Chaos.verdict_ok f.Chaos.report));
     check_bool "shrunk report still fails" true
-      (not (Verify.Check.ok f.Chaos.shrunk_report));
+      (not (Chaos.verdict_ok f.Chaos.shrunk_report));
     let e0, d0, m0 = measure f.Chaos.case.Chaos.plan in
     let e, d, m = measure f.Chaos.shrunk.Chaos.plan in
     check_bool "shrunk plan no larger" true (e <= e0 && d <= d0 && m <= m0);
@@ -184,8 +184,8 @@ let test_planted_bug_caught_and_shrunk () =
         (Chaos.repro case = line);
       let replayed = Chaos.run_case planted_cfg case in
       Alcotest.(check string) "replay reproduces the exact verdict"
-        (Verify.Check.summary f.Chaos.shrunk_report)
-        (Verify.Check.summary replayed))
+        (Chaos.verdict_summary f.Chaos.shrunk_report)
+        (Chaos.verdict_summary replayed))
 
 let test_repro_round_trip () =
   List.iter
