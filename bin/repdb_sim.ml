@@ -1,7 +1,7 @@
 (* Command-line driver.
 
    repdb_sim run <protocol> [options]   — one simulation, full report
-   repdb_sim exper [E1..E14] [--quick]  — regenerate evaluation tables
+   repdb_sim exper [E1..E15] [--quick]  — regenerate evaluation tables
    repdb_sim fuzz [--seeds N] [options] — seeded chaos: random fault
                                           schedules, 1SR + convergence
                                           checking, failing-seed shrinking
@@ -77,11 +77,45 @@ let trace_file =
            Implies span collection.")
 
 (* ------------------------------------------------------------------ *)
+(* Shared --batch-* flags: frames of up to batch_msgs payloads, flushed
+   after batch_delay microseconds. batch_msgs 0 (the default) disables
+   batching entirely. *)
+
+let batch_policy ~batch_msgs ~batch_delay_us =
+  if batch_msgs = 0 then None
+  else if batch_msgs < 0 || batch_delay_us < 0 then begin
+    Printf.eprintf "--batch-msgs/--batch-delay must be non-negative\n";
+    exit 2
+  end
+  else
+    Some
+      {
+        Broadcast.Endpoint.max_msgs = batch_msgs;
+        max_delay = Sim.Time.of_us batch_delay_us;
+      }
+
+let batch_msgs =
+  Cmdliner.Arg.(
+    value & opt int 0
+    & info [ "batch-msgs" ]
+        ~doc:
+          "broadcast batching: coalesce up to $(docv) outgoing broadcasts \
+           into one wire frame (0 = unbatched dispatch)"
+        ~docv:"N")
+
+let batch_delay_us =
+  Cmdliner.Arg.(
+    value & opt int 1000
+    & info [ "batch-delay" ]
+        ~doc:"flush an open frame after $(docv) microseconds"
+        ~docv:"USEC")
+
+(* ------------------------------------------------------------------ *)
 (* run *)
 
 let run_cmd protocol n_sites txns mpl seed ro_fraction theta n_keys reads writes
-    ack_delay_ms no_ack early batch flood loss_rate verbose trace audit
-    audit_report metrics =
+    ack_delay_ms no_ack early batch flood loss_rate batch_msgs batch_delay_us
+    verbose trace audit audit_report metrics =
   match Repdb.Protocol.of_name protocol with
   | None ->
     Printf.eprintf "unknown protocol %S (try: baseline reliable causal atomic)\n"
@@ -106,6 +140,7 @@ let run_cmd protocol n_sites txns mpl seed ro_fraction theta n_keys reads writes
         early_ww_abort = early;
         atomic_batch_writes = batch;
         flood;
+        batch = batch_policy ~batch_msgs ~batch_delay_us;
         loss =
           (if loss_rate > 0.0 then
              Some { Net.Network.drop_probability = loss_rate; rto = Sim.Time.of_ms 20 }
@@ -235,8 +270,8 @@ let run_term =
   Term.(
     const run_cmd $ protocol $ n_sites $ txns $ mpl $ seed $ ro_fraction
     $ theta $ n_keys $ reads $ writes $ ack_delay_ms $ no_ack $ early $ batch
-    $ flood $ loss_rate $ verbose $ trace_file $ audit_flag
-    $ audit_report_file $ metrics_file)
+    $ flood $ loss_rate $ batch_msgs $ batch_delay_us $ verbose $ trace_file
+    $ audit_flag $ audit_report_file $ metrics_file)
 
 (* ------------------------------------------------------------------ *)
 (* exper *)
@@ -257,7 +292,7 @@ let exper_cmd which quick markdown jobs =
           match List.assoc_opt id experiments with
           | Some fn -> Some (id, fn)
           | None ->
-            Printf.eprintf "unknown experiment %s (E1..E14)\n" id;
+            Printf.eprintf "unknown experiment %s (E1..E15)\n" id;
             exit 2)
         ids
   in
@@ -270,7 +305,7 @@ let exper_cmd which quick markdown jobs =
     selected
 
 let which =
-  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"E1..E14 (default: all)")
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"E1..E15 (default: all)")
 
 let quick = Arg.(value & flag & info [ "quick" ] ~doc:"smaller workloads")
 
@@ -291,7 +326,7 @@ let exper_term = Term.(const exper_cmd $ which $ quick $ markdown $ exper_jobs)
 (* fuzz *)
 
 let fuzz_cmd n_seeds seed_start jobs txns episodes protocol_names planted_bug
-    audit replay trace =
+    audit batch_msgs batch_delay_us replay trace =
   (match jobs with Some n -> Parallel.set_jobs (Some n) | None -> ());
   let protocols =
     match protocol_names with
@@ -314,6 +349,7 @@ let fuzz_cmd n_seeds seed_start jobs txns episodes protocol_names planted_bug
       max_episodes = episodes;
       planted_bug;
       audit;
+      batch = batch_policy ~batch_msgs ~batch_delay_us;
     }
   in
   match replay with
@@ -443,8 +479,8 @@ let fuzz_audit =
 let fuzz_term =
   Term.(
     const fuzz_cmd $ fuzz_seeds $ fuzz_seed_start $ fuzz_jobs $ fuzz_txns
-    $ fuzz_episodes $ fuzz_protocols $ fuzz_planted $ fuzz_audit $ fuzz_replay
-    $ trace_file)
+    $ fuzz_episodes $ fuzz_protocols $ fuzz_planted $ fuzz_audit $ batch_msgs
+    $ batch_delay_us $ fuzz_replay $ trace_file)
 
 (* ------------------------------------------------------------------ *)
 (* audit (offline replay of a recorded stream) *)

@@ -104,6 +104,24 @@ let per_txn ?only ~n events =
   in
   List.sort (fun a b -> compare a.a_txn b.a_txn) rows
 
+(* Order datagrams actually put on the wire: batched assignments share a
+   (sequencer, frame) pair and travel as one datagram; unbatched
+   assignments (no frame tag) are one datagram each. The per-txn
+   [a_order_msgs] above stays per-assignment — this is the amortized wire
+   count E15's "order messages per committed txn" criterion divides. *)
+let order_wire_msgs events =
+  let frames = Hashtbl.create 64 in
+  let singles = ref 0 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | E.Order_assign { by; frame = Some f; _ } ->
+        Hashtbl.replace frames (by, f) ()
+      | E.Order_assign { frame = None; _ } -> incr singles
+      | _ -> ())
+    events;
+  !singles + Hashtbl.length frames
+
 type stats = { st_min : int; st_max : int; st_mean : float }
 
 type summary = {

@@ -20,6 +20,12 @@ val per_txn : ?only:(int * int) list -> n:int -> Event.t list -> row list
 (** One row per transaction with tagged sends, sorted by id; [only]
     restricts to the given transactions (e.g. committed updates). *)
 
+val order_wire_msgs : Event.t list -> int
+(** Order datagrams on the wire: assignments sharing a (sequencer, frame)
+    pair count once (they travelled as one batched order message),
+    untagged assignments count one each. E15 divides this by committed
+    transactions to show the per-batch amortization of the sequencer. *)
+
 type stats = { st_min : int; st_max : int; st_mean : float }
 
 type summary = {

@@ -28,6 +28,7 @@ type t =
       msg : msg;
       txn : (int * int) option;
       vc : int array option;
+      frame : int option;  (* per-origin wire-frame id when batched *)
     }
   | Deliver of {
       at : Sim.Time.t;
@@ -38,7 +39,13 @@ type t =
       flush : bool;
     }
   | Pass of { at : Sim.Time.t; site : int; msg : msg; vc : int array; flush : bool }
-  | Order_assign of { at : Sim.Time.t; by : int; msg : msg; global_seq : int }
+  | Order_assign of {
+      at : Sim.Time.t;
+      by : int;
+      msg : msg;
+      global_seq : int;
+      frame : int option;  (* sequencer sweep id when assignments batch *)
+    }
   | Reset of {
       at : Sim.Time.t;
       site : int;
@@ -71,7 +78,10 @@ let at = function
   | Heal { at } ->
     at
 
-let schema_version = 1
+(* v2: send/order events may carry an optional "frame" field — the wire
+   frame a batched broadcast travelled in / the sequencer sweep a batched
+   order assignment shipped in. Absent on unbatched streams. *)
+let schema_version = 2
 
 let schema_line ~n =
   Printf.sprintf
@@ -95,13 +105,18 @@ let msg_fields m =
   Printf.sprintf "\"origin\":%d,\"cls\":\"%s\",\"seq\":%d" m.origin
     (cls_name m.cls) m.seq
 
+let frame_field = function
+  | None -> ""
+  | Some f -> Printf.sprintf ",\"frame\":%d" f
+
 let to_json e =
   let us = Sim.Time.to_us in
   match e with
-  | Send { at; msg; txn; vc } ->
+  | Send { at; msg; txn; vc; frame } ->
     Printf.sprintf
-      "{\"stream\":\"audit\",\"type\":\"send\",\"ts_us\":%d,%s,\"txn\":%s,\"vc\":%s}"
+      "{\"stream\":\"audit\",\"type\":\"send\",\"ts_us\":%d,%s,\"txn\":%s,\"vc\":%s%s}"
       (us at) (msg_fields msg) (txn_json txn) (opt_ints_json vc)
+      (frame_field frame)
   | Deliver { at; site; msg; vc; global_seq; flush } ->
     Printf.sprintf
       "{\"stream\":\"audit\",\"type\":\"deliver\",\"ts_us\":%d,\"site\":%d,%s,\"vc\":%s,\"gseq\":%s,\"flush\":%b}"
@@ -111,10 +126,10 @@ let to_json e =
     Printf.sprintf
       "{\"stream\":\"audit\",\"type\":\"pass\",\"ts_us\":%d,\"site\":%d,%s,\"vc\":%s,\"flush\":%b}"
       (us at) site (msg_fields msg) (ints_json vc) flush
-  | Order_assign { at; by; msg; global_seq } ->
+  | Order_assign { at; by; msg; global_seq; frame } ->
     Printf.sprintf
-      "{\"stream\":\"audit\",\"type\":\"order\",\"ts_us\":%d,\"by\":%d,%s,\"gseq\":%d}"
-      (us at) by (msg_fields msg) global_seq
+      "{\"stream\":\"audit\",\"type\":\"order\",\"ts_us\":%d,\"by\":%d,%s,\"gseq\":%d%s}"
+      (us at) by (msg_fields msg) global_seq (frame_field frame)
   | Reset { at; site; cut; r_next; next_total } ->
     Printf.sprintf
       "{\"stream\":\"audit\",\"type\":\"reset\",\"ts_us\":%d,\"site\":%d,\"cut\":%s,\"r_next\":%s,\"next_total\":%d}"
@@ -284,6 +299,13 @@ let fint_opt fields k =
   | Jnull -> None
   | _ -> raise (Parse ("field " ^ k ^ ": expected int or null"))
 
+(* Absent field allowed: the frame tag only appears on batched streams. *)
+let fint_maybe fields k =
+  match List.assoc_opt k fields with
+  | None | Some Jnull -> None
+  | Some (Jint i) -> Some i
+  | Some _ -> raise (Parse ("field " ^ k ^ ": expected int"))
+
 let ftxn fields k =
   match field fields k with
   | Jnull -> None
@@ -320,6 +342,7 @@ let of_json line =
             msg = fmsg fields;
             txn = ftxn fields "txn";
             vc = fints_opt fields "vc";
+            frame = fint_maybe fields "frame";
           }
       | "deliver" ->
         Deliver
@@ -350,6 +373,7 @@ let of_json line =
             by = fint fields "by";
             msg = fmsg fields;
             global_seq = fint fields "gseq";
+            frame = fint_maybe fields "frame";
           }
       | "reset" ->
         Reset

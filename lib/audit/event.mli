@@ -34,6 +34,9 @@ type t =
       msg : msg;
       txn : (int * int) option;  (** originating transaction (origin, local) *)
       vc : int array option;  (** causal stamp; [None] for the reliable class *)
+      frame : int option;
+          (** the per-origin wire frame this broadcast was coalesced into
+              when the endpoint batches; [None] on unbatched streams *)
     }
   | Deliver of {
       at : Sim.Time.t;
@@ -49,7 +52,16 @@ type t =
       (** a total-class message passed causal order at [site]; its app
           delivery waits for the sequencer and is a separate {!Deliver}.
           [flush] marks window entries force-applied during a join. *)
-  | Order_assign of { at : Sim.Time.t; by : int; msg : msg; global_seq : int }
+  | Order_assign of {
+      at : Sim.Time.t;
+      by : int;
+      msg : msg;
+      global_seq : int;
+      frame : int option;
+          (** the sequencer sweep whose assignments shipped as one order
+              datagram; every assignment of a sweep shares the id and the
+              global sequences of a sweep are contiguous *)
+    }
   | Reset of {
       at : Sim.Time.t;
       site : int;

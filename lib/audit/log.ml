@@ -309,13 +309,19 @@ let record t ev =
 (* ------------------------------------------------------------------ *)
 (* Typed hooks (build the event only when the log is live) *)
 
-let send t ~at ~origin ~cls ~seq ~txn ~vc =
+let send ?frame t ~at ~origin ~cls ~seq ~txn ~vc =
   match t with
   | None -> ()
   | Some _ ->
     record t
       (Event.Send
-         { at; msg = { origin; cls; seq }; txn; vc = Option.map Vc.to_array vc })
+         {
+           at;
+           msg = { origin; cls; seq };
+           txn;
+           vc = Option.map Vc.to_array vc;
+           frame;
+         })
 
 let deliver t ~at ~site ~origin ~cls ~seq ~vc ~global_seq ~flush =
   match t with
@@ -346,13 +352,13 @@ let pass t ~at ~site ~origin ~seq ~vc ~flush =
            flush;
          })
 
-let order_assign t ~at ~by ~origin ~seq ~global_seq =
+let order_assign ?frame t ~at ~by ~origin ~seq ~global_seq =
   match t with
   | None -> ()
   | Some _ ->
     record t
       (Event.Order_assign
-         { at; by; msg = { origin; cls = Event.T; seq }; global_seq })
+         { at; by; msg = { origin; cls = Event.T; seq }; global_seq; frame })
 
 let reset t ~at ~site ~cut ~r_next ~next_total =
   match t with

@@ -38,6 +38,7 @@ val n_sites : t -> int
 (** {2 Recording hooks} — all no-ops on a disabled log. *)
 
 val send :
+  ?frame:int ->
   t ->
   at:Sim.Time.t ->
   origin:int ->
@@ -46,6 +47,8 @@ val send :
   txn:(int * int) option ->
   vc:Lclock.Vector_clock.t option ->
   unit
+(** [frame] tags the outgoing wire frame when the endpoint batches
+    broadcasts; omit it on unbatched sends. *)
 
 val deliver :
   t ->
@@ -72,7 +75,17 @@ val pass :
     delivery is a later {!deliver} carrying the global sequence). *)
 
 val order_assign :
-  t -> at:Sim.Time.t -> by:int -> origin:int -> seq:int -> global_seq:int -> unit
+  ?frame:int ->
+  t ->
+  at:Sim.Time.t ->
+  by:int ->
+  origin:int ->
+  seq:int ->
+  global_seq:int ->
+  unit
+(** [frame] identifies the sequencer sweep whose assignments travel as a
+    single order datagram (batched mode); omit it when each assignment is
+    its own datagram. *)
 
 val reset :
   t ->

@@ -2,14 +2,32 @@ module Vc = Lclock.Vector_clock
 
 type 'a release = { origin : Net.Site_id.t; vc : Vc.t; payload : 'a }
 
+(* A buffered message is parked on exactly one unsatisfied component of its
+   stamp: the bucket key [(site, count)] fires when the delivered count for
+   [site] reaches [count]. A delivery therefore wakes only the direct
+   successors of the delivered message instead of re-filtering the whole
+   pending list to a fixpoint (which goes quadratic under bursty arrivals).
+   [arrival] is the offer-order index; sweeps release in the same order a
+   sequential arrival-order re-scan would. *)
+type 'a parked = { release : 'a release; arrival : int }
+
 type 'a t = {
   delivered : int array;
-  mutable pending : 'a release list;  (* in arrival order *)
+  buckets : (int * int, 'a parked list) Hashtbl.t;
+  pending_ids : (int * int, unit) Hashtbl.t;  (* (origin, seq) buffered *)
+  mutable next_arrival : int;
+  mutable n_pending : int;
 }
 
 let create ~n =
   if n <= 0 then invalid_arg "Delay_queue.create: n <= 0";
-  { delivered = Array.make n 0; pending = [] }
+  {
+    delivered = Array.make n 0;
+    buckets = Hashtbl.create 16;
+    pending_ids = Hashtbl.create 16;
+    next_arrival = 0;
+    n_pending = 0;
+  }
 
 let delivered_vc t = Vc.of_array t.delivered
 
@@ -29,30 +47,146 @@ let deliverable t release =
     v;
   !ok
 
-let mark_delivered t release =
-  t.delivered.(release.origin) <- t.delivered.(release.origin) + 1
+(* Minimal binary min-heap on arrival index: the sweep's scan cursor. *)
+module Heap = struct
+  type 'a t = { mutable arr : (int * 'a) array; mutable len : int }
 
-(* After a delivery, previously buffered messages may unblock; iterate to a
-   fixpoint, preserving arrival order among messages released in the same
-   sweep. *)
-let drain t =
+  let create () = { arr = [||]; len = 0 }
+
+  let swap h i j =
+    let tmp = h.arr.(i) in
+    h.arr.(i) <- h.arr.(j);
+    h.arr.(j) <- tmp
+
+  let push h key v =
+    if h.len = Array.length h.arr then begin
+      let grown = Array.make (max 4 (2 * h.len)) (key, v) in
+      Array.blit h.arr 0 grown 0 h.len;
+      h.arr <- grown
+    end;
+    h.arr.(h.len) <- (key, v);
+    let i = ref h.len in
+    h.len <- h.len + 1;
+    while !i > 0 && fst h.arr.((!i - 1) / 2) > fst h.arr.(!i) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let _, v = h.arr.(0) in
+      h.len <- h.len - 1;
+      h.arr.(0) <- h.arr.(h.len);
+      let i = ref 0 in
+      let sifting = ref true in
+      while !sifting do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && fst h.arr.(l) < fst h.arr.(!smallest) then smallest := l;
+        if r < h.len && fst h.arr.(r) < fst h.arr.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+        else sifting := false
+      done;
+      Some v
+    end
+end
+
+(* Park on one unsatisfied wake key: the own-stream predecessor if the
+   message is not yet next from its origin, else the first lagging cross
+   component. The caller guarantees the release is not deliverable and not
+   stale, so such a key exists; components only grow, so a fired key stays
+   satisfied and re-parking on another never loses a wake. *)
+let park t parked =
+  let v = Vc.to_array parked.release.vc in
+  let o = parked.release.origin in
+  let key =
+    if t.delivered.(o) < v.(o) - 1 then (o, v.(o) - 1)
+    else begin
+      let k = ref (-1) in
+      Array.iteri
+        (fun i vi -> if !k < 0 && i <> o && vi > t.delivered.(i) then k := i)
+        v;
+      (!k, v.(!k))
+    end
+  in
+  let bucket = try Hashtbl.find t.buckets key with Not_found -> [] in
+  Hashtbl.replace t.buckets key (parked :: bucket)
+
+let take_bucket t key =
+  match Hashtbl.find_opt t.buckets key with
+  | None -> []
+  | Some l ->
+    Hashtbl.remove t.buckets key;
+    l
+
+(* Remove every parked message matching [pred] on its (origin, seq)
+   identity (rare: membership changes and catch-up jumps only). *)
+let remove_parked t pred =
+  let updates =
+    Hashtbl.fold
+      (fun key bucket acc ->
+        let kept =
+          List.filter (fun p -> not (pred p.release.origin (seq_of p.release))) bucket
+        in
+        if List.length kept <> List.length bucket then
+          (key, kept, List.length bucket - List.length kept) :: acc
+        else acc)
+      t.buckets []
+  in
+  List.iter
+    (fun (key, kept, dropped) ->
+      t.n_pending <- t.n_pending - dropped;
+      if kept = [] then Hashtbl.remove t.buckets key
+      else Hashtbl.replace t.buckets key kept)
+    updates;
+  Hashtbl.filter_map_inplace
+    (fun (o, s) () -> if pred o s then None else Some ())
+    t.pending_ids
+
+(* Sweep: deliver everything a set of count changes unblocks. Candidates
+   are processed in ascending arrival index; a delivery wakes only the
+   bucket of the count it advanced. A candidate woken at or before the
+   current cursor waits for the next round — exactly when a re-scan of the
+   arrival-order list would next consider it — so the release order matches
+   the previous fixpoint implementation's output verbatim. *)
+let drain_from t woken =
   let released = ref [] in
-  let progress = ref true in
-  while !progress do
-    progress := false;
-    let still_pending =
-      List.filter
-        (fun r ->
-          if deliverable t r then begin
-            mark_delivered t r;
-            released := r :: !released;
-            progress := true;
-            false
-          end
-          else true)
-        t.pending
-    in
-    t.pending <- still_pending
+  let heap = Heap.create () in
+  let next_round = ref [] in
+  List.iter (fun p -> Heap.push heap p.arrival p) woken;
+  let pos = ref (-1) in
+  let wake key =
+    List.iter
+      (fun p ->
+        if p.arrival > !pos then Heap.push heap p.arrival p
+        else next_round := p :: !next_round)
+      (take_bucket t key)
+  in
+  let deliver p =
+    let o = p.release.origin in
+    t.delivered.(o) <- t.delivered.(o) + 1;
+    Hashtbl.remove t.pending_ids (o, t.delivered.(o));
+    t.n_pending <- t.n_pending - 1;
+    released := p.release :: !released;
+    wake (o, t.delivered.(o))
+  in
+  let sweeping = ref true in
+  while !sweeping do
+    match Heap.pop heap with
+    | Some p ->
+      pos := p.arrival;
+      if deliverable t p.release then deliver p else park t p
+    | None -> (
+      match !next_round with
+      | [] -> sweeping := false
+      | l ->
+        next_round := [];
+        pos := -1;
+        List.iter (fun p -> Heap.push heap p.arrival p) l)
   done;
   List.rev !released
 
@@ -62,33 +196,35 @@ let offer t ~origin ~vc payload =
   let release = { origin; vc; payload } in
   let seq = seq_of release in
   if seq <= t.delivered.(origin) then Duplicate
-  else if
-    List.exists
-      (fun r -> Net.Site_id.equal r.origin origin && seq_of r = seq)
-      t.pending
-  then Duplicate
+  else if Hashtbl.mem t.pending_ids (origin, seq) then Duplicate
   else if deliverable t release then begin
-    mark_delivered t release;
-    Ready (release :: drain t)
+    t.delivered.(origin) <- seq;
+    let woken = take_bucket t (origin, seq) in
+    Ready (release :: drain_from t woken)
   end
   else begin
-    t.pending <- t.pending @ [ release ];
+    let parked = { release; arrival = t.next_arrival } in
+    t.next_arrival <- t.next_arrival + 1;
+    Hashtbl.replace t.pending_ids (origin, seq) ();
+    t.n_pending <- t.n_pending + 1;
+    park t parked;
     Buffered
   end
 
 let fast_forward t ~origin ~count =
   if count <= t.delivered.(origin) then []
   else begin
+    let from = t.delivered.(origin) in
     t.delivered.(origin) <- count;
-    t.pending <-
-      List.filter
-        (fun r -> not (Net.Site_id.equal r.origin origin && seq_of r <= count))
-        t.pending;
-    drain t
+    remove_parked t (fun o seq -> Net.Site_id.equal o origin && seq <= count);
+    let woken = ref [] in
+    for c = from + 1 to count do
+      woken := !woken @ take_bucket t (origin, c)
+    done;
+    drain_from t !woken
   end
 
 let purge t ~origin =
-  t.pending <-
-    List.filter (fun r -> not (Net.Site_id.equal r.origin origin)) t.pending
+  remove_parked t (fun o _seq -> Net.Site_id.equal o origin)
 
-let pending_count t = List.length t.pending
+let pending_count t = t.n_pending

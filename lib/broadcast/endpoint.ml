@@ -3,6 +3,8 @@ module Site_id = Net.Site_id
 
 type cls = [ `Reliable | `Causal | `Total ]
 
+type batch = { max_msgs : int; max_delay : Sim.Time.t }
+
 type 'a delivery = {
   id : Msg_id.t;
   vc : Vc.t option;
@@ -38,9 +40,20 @@ type 'a join_commit = {
    control message (which must travel causally ordered like user data). *)
 type 'a app_payload = User of 'a | Join_commit of 'a join_commit
 
+(* One stamped message inside a batched wire frame: exactly the App
+   fields, minus the relay flag (frames are never relayed whole — flooding
+   relays the unpacked inner messages). *)
+type 'a framed = { f_id : Msg_id.t; f_vc : Vc.t option; f_payload : 'a app_payload }
+
 type 'a wire =
   | App of { id : Msg_id.t; vc : Vc.t option; payload : 'a app_payload; relayed : bool }
+  | Frame of { frame : int; msgs : 'a framed list }
+      (* a sender's coalesced broadcasts: one datagram, many stamped
+         messages, delivered back-to-back in sender order *)
   | Order of { id : Msg_id.t; global_seq : int }
+  | Orders of { frame : int; assignments : (Msg_id.t * int) list }
+      (* one sequencer sweep: a contiguous block of slot assignments
+         travelling as a single order datagram *)
   | Heartbeat
   | Sync_req of { sync_id : int }
   | Sync_rep of { sync_id : int; assignments : (Msg_id.t * int) list }
@@ -112,6 +125,16 @@ type 'a t = {
   mutable pending_sync : 'a sync_state option;
   mutable pending_join : 'a join_state option;
   mutable joining : bool;  (* this site is waiting for a join commit *)
+  (* outgoing batch (empty and inert when the group has no batch policy) *)
+  mutable pending_out : (Msg_id.t * Vc.t option * 'a app_payload) list;
+      (* newest first; flushed as one Frame on size or timer *)
+  mutable out_frame : int;  (* id of the currently open frame *)
+  mutable frame_counter : int;  (* monotone, survives recovery *)
+  mutable frame_opened_at : Sim.Time.t;
+  mutable in_frame : bool;
+      (* processing an incoming Frame: defer sequencer sweeps to one per
+         frame instead of one per inner message *)
+  mutable order_sweep : int;  (* batched order-datagram id generator *)
   (* metrics handles, resolved once at construction; disabled handles cost
      one branch per event *)
   c_bcast_r : Obs.Registry.counter;
@@ -119,6 +142,9 @@ type 'a t = {
   c_bcast_t : Obs.Registry.counter;
   c_deliver : Obs.Registry.counter;
   c_view : Obs.Registry.counter;
+  c_frames : Obs.Registry.counter;
+  h_frame_size : Obs.Registry.hist_handle;
+  h_frame_delay : Obs.Registry.hist_handle;  (* open-to-flush, us *)
   (* planted-bug state (test-only, see [create_group]) *)
   mutable bug_causal_fired : bool;
   mutable bug_held : (Vc.t * 'a app_payload) Order_state.ready option;
@@ -132,6 +158,7 @@ and 'a group = {
   g_hb : Sim.Time.t;
   g_suspect : Sim.Time.t;
   g_flood : bool;
+  g_batch : batch option;
   g_audit : Audit.Log.t;
   g_bug_causal : bool;
   g_bug_total : bool;
@@ -174,7 +201,8 @@ let classify_wire user = function
   | App { payload = User payload; relayed; _ } ->
     if relayed then "relay" else user payload
   | App { payload = Join_commit _; _ } -> "join"
-  | Order _ -> "order"
+  | Frame _ -> "frame"
+  | Order _ | Orders _ -> "order"
   | Heartbeat -> "hb"
   | Sync_req _ | Sync_rep _ -> "sync"
   | Join_request | Join_query _ | Join_report _ -> "join"
@@ -191,18 +219,74 @@ let send_wire t ~dst wire = Net.Network.send t.group.g_net ~src:t.me ~dst wire
 let broadcast_wire ?(include_self = true) t wire =
   Net.Network.send_all t.group.g_net ~src:t.me ~include_self wire
 
+(* Ship the open frame as one wire datagram. No-op when nothing pends. *)
+let flush_out t =
+  match t.pending_out with
+  | [] -> ()
+  | pending ->
+    let msgs =
+      List.rev_map
+        (fun (id, vc, payload) -> { f_id = id; f_vc = vc; f_payload = payload })
+        pending
+    in
+    t.pending_out <- [];
+    Obs.Registry.incr t.c_frames;
+    Obs.Registry.observe t.h_frame_size (float_of_int (List.length msgs));
+    Obs.Registry.observe t.h_frame_delay
+      (float_of_int (Sim.Time.to_us (Sim.Time.diff (a_now t) t.frame_opened_at)));
+    broadcast_wire t (Frame { frame = t.out_frame; msgs })
+
+(* Enqueue a stamped message on the open frame, opening one (and arming
+   its flush timer) if needed. Returns the frame id for the audit header. *)
+let enqueue_out t batch entry =
+  (match t.pending_out with
+  | [] ->
+    t.frame_counter <- t.frame_counter + 1;
+    t.out_frame <- t.frame_counter;
+    t.frame_opened_at <- a_now t;
+    let fid = t.out_frame in
+    ignore
+      (Sim.Engine.schedule t.group.g_engine ~delay:batch.max_delay (fun () ->
+           if t.alive && t.out_frame = fid then flush_out t))
+  | _ :: _ -> ());
+  let frame = t.out_frame in
+  t.pending_out <- entry :: t.pending_out;
+  if List.length t.pending_out >= batch.max_msgs then flush_out t;
+  frame
+
+(* Dispatch one stamped broadcast: directly as an App datagram, or — under
+   a batch policy — onto the open frame. The stamp, sequence numbers and
+   audit Send are identical either way; only the wire framing differs.
+   [direct] forces the unbatched path (join commits must not sit in a
+   frame: members deliver them raw during the join window), after flushing
+   so the commit cannot overtake its own frame on the FIFO links. *)
+let dispatch_app ?txn ~direct t ~id ~vc ~mcls ~payload =
+  let frame =
+    match t.group.g_batch with
+    | None -> None
+    | Some batch ->
+      if direct then begin
+        flush_out t;
+        None
+      end
+      else Some (enqueue_out t batch (id, vc, payload))
+  in
+  Audit.Log.send ?frame t.group.g_audit ~at:(a_now t) ~origin:t.me
+    ~cls:(audit_cls mcls) ~seq:id.Msg_id.seq ~txn ~vc;
+  if frame = None then
+    broadcast_wire t (App { id; vc; payload; relayed = false })
+
 let broadcast_payload ?txn t cls payload ~joiner_floor =
   (match cls with
   | `Reliable -> Obs.Registry.incr t.c_bcast_r
   | `Causal -> Obs.Registry.incr t.c_bcast_c
   | `Total -> Obs.Registry.incr t.c_bcast_t);
+  let direct = match payload with Join_commit _ -> true | User _ -> false in
   match cls with
   | `Reliable ->
     let id = { Msg_id.origin = t.me; cls = Msg_id.Reliable; seq = t.sent_r } in
     t.sent_r <- t.sent_r + 1;
-    Audit.Log.send t.group.g_audit ~at:(a_now t) ~origin:t.me
-      ~cls:Audit.Event.R ~seq:id.Msg_id.seq ~txn ~vc:None;
-    broadcast_wire t (App { id; vc = None; payload; relayed = false });
+    dispatch_app ?txn ~direct t ~id ~vc:None ~mcls:Msg_id.Reliable ~payload;
     { msg_id = id; msg_vc = None }
   | (`Causal | `Total) as ordered ->
     let cut = Array.copy t.app_cut in
@@ -216,9 +300,7 @@ let broadcast_payload ?txn t cls payload ~joiner_floor =
     let vc = Vc.of_array cut in
     let mcls = match ordered with `Causal -> Msg_id.Causal | `Total -> Msg_id.Total in
     let id = { Msg_id.origin = t.me; cls = mcls; seq = cut.(t.me) } in
-    Audit.Log.send t.group.g_audit ~at:(a_now t) ~origin:t.me
-      ~cls:(audit_cls mcls) ~seq:id.Msg_id.seq ~txn ~vc:(Some vc);
-    broadcast_wire t (App { id; vc = Some vc; payload; relayed = false });
+    dispatch_app ?txn ~direct t ~id ~vc:(Some vc) ~mcls ~payload;
     { msg_id = id; msg_vc = Some vc }
 
 let broadcast ?txn t cls payload =
@@ -285,7 +367,10 @@ and deliver_ready_totals t ready =
 and total_arrival t id vc payload =
   let ready = Order_state.note_arrival t.orders id (vc, payload) in
   deliver_ready_totals t ready;
-  maybe_assign t
+  (* Inside a frame, one sweep covers every inner arrival: the caller runs
+     [maybe_assign] once after unpacking, so a frame of commit requests
+     costs one order datagram instead of one per message. *)
+  if not t.in_frame then maybe_assign t
 
 and maybe_assign t =
   (* Assigning a slot is a commitment: a sequencer in a minority view must
@@ -296,16 +381,44 @@ and maybe_assign t =
     && Site_id.equal (View.coordinator t.view) t.me
     && View.is_primary t.view ~n_total:t.group.g_n
   then begin
-    List.iter
-      (fun id ->
-        let global_seq = t.next_assign in
-        t.next_assign <- t.next_assign + 1;
-        Audit.Log.order_assign t.group.g_audit ~at:(a_now t) ~by:t.me
-          ~origin:id.Msg_id.origin ~seq:id.Msg_id.seq ~global_seq;
-        let ready = Order_state.note_order t.orders id ~global_seq in
-        broadcast_wire ~include_self:false t (Order { id; global_seq });
-        deliver_ready_totals t ready)
-      (Order_state.unordered_arrivals t.orders)
+    match t.group.g_batch with
+    | None ->
+      List.iter
+        (fun id ->
+          let global_seq = t.next_assign in
+          t.next_assign <- t.next_assign + 1;
+          Audit.Log.order_assign t.group.g_audit ~at:(a_now t) ~by:t.me
+            ~origin:id.Msg_id.origin ~seq:id.Msg_id.seq ~global_seq;
+          let ready = Order_state.note_order t.orders id ~global_seq in
+          broadcast_wire ~include_self:false t (Order { id; global_seq });
+          deliver_ready_totals t ready)
+        (Order_state.unordered_arrivals t.orders)
+    | Some _ -> (
+      (* One sweep, one order datagram: assign contiguous slots to every
+         unordered arrival and ship the whole block at once. *)
+      match Order_state.unordered_arrivals t.orders with
+      | [] -> ()
+      | ids ->
+        t.order_sweep <- t.order_sweep + 1;
+        let sweep = t.order_sweep in
+        let assignments =
+          List.map
+            (fun id ->
+              let global_seq = t.next_assign in
+              t.next_assign <- t.next_assign + 1;
+              Audit.Log.order_assign ~frame:sweep t.group.g_audit
+                ~at:(a_now t) ~by:t.me ~origin:id.Msg_id.origin
+                ~seq:id.Msg_id.seq ~global_seq;
+              (id, global_seq))
+            ids
+        in
+        let readies =
+          List.map
+            (fun (id, global_seq) -> Order_state.note_order t.orders id ~global_seq)
+            assignments
+        in
+        broadcast_wire ~include_self:false t (Orders { frame = sweep; assignments });
+        List.iter (deliver_ready_totals t) readies)
   end
 
 (* Releases from the causal queue fan out by class. The application cut
@@ -595,13 +708,6 @@ and joiner_install t ~commit_id jc =
       ignore (Delay_queue.fast_forward t.delay ~origin ~count))
     snap.snap_cut;
   t.app_cut <- Array.copy snap.snap_cut;
-  (* The join commit itself was consumed raw, outside the delay queue;
-     account for it or the coordinator's stream stalls here forever. *)
-  ignore
-    (Delay_queue.fast_forward t.delay ~origin:commit_id.Msg_id.origin
-       ~count:commit_id.Msg_id.seq);
-  if commit_id.Msg_id.seq > t.app_cut.(commit_id.Msg_id.origin) then
-    t.app_cut.(commit_id.Msg_id.origin) <- commit_id.Msg_id.seq;
   t.orders <- Order_state.create ();
   Order_state.fast_forward t.orders ~next_deliver:snap.snap_next_total;
   ignore (Order_state.adopt t.orders snap.snap_orders);
@@ -614,12 +720,7 @@ and joiner_install t ~commit_id jc =
       snap.snap_r_expected;
     Audit.Log.reset t.group.g_audit ~at:(a_now t) ~site:t.me
       ~cut:(Array.copy snap.snap_cut) ~r_next
-      ~next_total:snap.snap_next_total;
-    (* The commit itself was consumed raw, outside the delay queue — the
-       flush delivery keeps the agreement monitor honest about it. *)
-    Audit.Log.deliver t.group.g_audit ~at:(a_now t) ~site:t.me
-      ~origin:commit_id.Msg_id.origin ~cls:(audit_cls commit_id.Msg_id.cls)
-      ~seq:commit_id.Msg_id.seq ~vc:None ~global_seq:None ~flush:true
+      ~next_total:snap.snap_next_total
   end;
   (match t.snap_install with
   | Some install -> install snap.snap_app
@@ -634,7 +735,30 @@ and joiner_install t ~commit_id jc =
   (match t.view_cb with Some cb -> cb t.view | None -> ());
   let buffered = List.rev t.raw_buffer in
   t.raw_buffer <- [];
-  List.iter (fun (src, wire) -> handle t ~src wire) buffered
+  List.iter (fun (src, wire) -> handle t ~src wire) buffered;
+  (* Only now account for the join commit itself, which was consumed raw,
+     outside the delay queue — without this the coordinator's stream stalls
+     here forever, because the commit's slot never re-arrives. It must wait
+     until after the raw-buffer replay: the coordinator's messages stamped
+     but still unsent at snapshot time (its open frame, or a loopback
+     still in flight) carry sequence numbers BELOW the commit's and were
+     flushed onto the FIFO link ahead of it, so they are sitting in the
+     raw buffer right now — and their effects are in neither the snapshot
+     state nor its cut. Skipping to the commit's slot before replaying
+     them would drop them as duplicates (replica divergence; batching
+     widens the race from a loopback latency to a full [max_delay]).
+     Anything buffered on a causal dependency on the commit is released
+     by the skip and delivered here. *)
+  if commit_id.Msg_id.seq > t.app_cut.(commit_id.Msg_id.origin) then
+    t.app_cut.(commit_id.Msg_id.origin) <- commit_id.Msg_id.seq;
+  Audit.Log.deliver t.group.g_audit ~at:(a_now t) ~site:t.me
+    ~origin:commit_id.Msg_id.origin ~cls:(audit_cls commit_id.Msg_id.cls)
+    ~seq:commit_id.Msg_id.seq ~vc:None ~global_seq:None ~flush:true;
+  let released =
+    Delay_queue.fast_forward t.delay ~origin:commit_id.Msg_id.origin
+      ~count:commit_id.Msg_id.seq
+  in
+  deliver_causal_releases t released
 
 (* ------------------------------------------------------------------ *)
 (* Wire dispatch *)
@@ -655,6 +779,15 @@ and handle t ~src wire =
 and handle_initialized t ~src wire =
   match wire with
   | App { id; vc; payload; relayed = _ } -> handle_app t ~src ~id ~vc payload
+  | Frame { frame = _; msgs } ->
+    (* Unpack in sender order; each inner message goes through exactly the
+       App path. The sequencer sweep is deferred to once per frame. *)
+    t.in_frame <- true;
+    List.iter
+      (fun { f_id; f_vc; f_payload } -> handle_app t ~src ~id:f_id ~vc:f_vc f_payload)
+      msgs;
+    t.in_frame <- false;
+    maybe_assign t
   | Order { id; global_seq } ->
     (* Accept orders only from live-view members: a failed sequencer's
        stragglers must not conflict with its successor's assignments. *)
@@ -662,6 +795,13 @@ and handle_initialized t ~src wire =
       let ready = Order_state.note_order t.orders id ~global_seq in
       deliver_ready_totals t ready
     end
+  | Orders { frame = _; assignments } ->
+    if View.mem t.view src then
+      List.iter
+        (fun (id, global_seq) ->
+          let ready = Order_state.note_order t.orders id ~global_seq in
+          deliver_ready_totals t ready)
+        assignments
   | Heartbeat -> ()
   | Sync_req { sync_id } -> handle_sync_req t ~src ~sync_id
   | Sync_rep { sync_id; assignments } -> begin
@@ -838,6 +978,10 @@ let recover group s =
     t.pending_sync <- None;
     t.pending_join <- None;
     t.seq_synced <- false;
+    (* A frame open at crash time never reached the wire: volatile, gone.
+       The frame counter stays monotone so stale flush timers stay dead. *)
+    t.pending_out <- [];
+    t.in_frame <- false;
     Hashtbl.reset t.recent;
     t.relayed <- Msg_id.Set.empty;
     let now = Sim.Engine.now group.g_engine in
@@ -850,12 +994,16 @@ let recover group s =
 
 let create_group (type a) engine ~n ~latency ?(classify = fun (_ : a) -> "app")
     ?(hb_interval = Sim.Time.of_ms 50) ?(suspect_after = Sim.Time.of_ms 200)
-    ?(flood = false) ?loss ?(obs = Obs.Registry.disabled)
+    ?(flood = false) ?batch ?tx_time ?loss ?(obs = Obs.Registry.disabled)
     ?(audit = Audit.Log.none) ?(bug_causal_inversion = false)
     ?(bug_total_divergence = false) () : a group =
+  (match batch with
+  | Some { max_msgs; _ } when max_msgs < 1 ->
+    invalid_arg "Endpoint.create_group: batch.max_msgs < 1"
+  | Some _ | None -> ());
   let net =
     Net.Network.create engine ~n ~latency ~classify:(classify_wire classify)
-      ?loss ()
+      ?tx_time ?loss ()
   in
   let group =
     {
@@ -865,6 +1013,7 @@ let create_group (type a) engine ~n ~latency ?(classify = fun (_ : a) -> "app")
       g_hb = hb_interval;
       g_suspect = suspect_after;
       g_flood = flood;
+      g_batch = batch;
       g_audit = audit;
       g_bug_causal = bug_causal_inversion;
       g_bug_total = bug_total_divergence;
@@ -876,6 +1025,9 @@ let create_group (type a) engine ~n ~latency ?(classify = fun (_ : a) -> "app")
       Obs.Registry.counter obs ~name
         ~labels:[ ("site", string_of_int me) ]
         ()
+    in
+    let hist name =
+      Obs.Registry.hist obs ~name ~labels:[ ("site", string_of_int me) ] ()
     in
     {
       group;
@@ -910,6 +1062,15 @@ let create_group (type a) engine ~n ~latency ?(classify = fun (_ : a) -> "app")
       c_bcast_t = counter "bcast_total";
       c_deliver = counter "app_deliver";
       c_view = counter "view_change";
+      c_frames = counter "frames";
+      h_frame_size = hist "frame_size";
+      h_frame_delay = hist "frame_delay_us";
+      pending_out = [];
+      out_frame = 0;
+      frame_counter = 0;
+      frame_opened_at = Sim.Time.zero;
+      in_frame = false;
+      order_sweep = 0;
       bug_causal_fired = false;
       bug_held = None;
       bug_total_fired = false;

@@ -40,6 +40,13 @@ type stamp = {
 type 'a group
 type 'a t
 
+type batch = { max_msgs : int; max_delay : Sim.Time.t }
+(** Sender-side dispatch policy: outgoing broadcasts are coalesced into one
+    wire frame holding up to [max_msgs] payloads, flushed early after
+    [max_delay] of the frame being open. Each inner message keeps its own
+    identity (seq, causal stamp, audit lineage); a frame of total-class
+    messages costs a single sequencer agreement round. *)
+
 (** {2 Group construction} *)
 
 val create_group :
@@ -50,6 +57,8 @@ val create_group :
   ?hb_interval:Sim.Time.t ->
   ?suspect_after:Sim.Time.t ->
   ?flood:bool ->
+  ?batch:batch ->
+  ?tx_time:Sim.Time.t ->
   ?loss:Net.Network.loss ->
   ?obs:Obs.Registry.t ->
   ?audit:Audit.Log.t ->
@@ -63,7 +72,12 @@ val create_group :
     makes receivers relay first-seen application messages, modelling
     gossip-style reliable broadcast; the simulator's physical broadcast is
     atomic at send time, so flooding is about cost modelling, not
-    correctness. [obs] (default disabled) receives per-site
+    correctness. [batch] (default [None] — every broadcast is its own
+    datagram, byte-identical to earlier versions) turns on sender-side
+    batching; raises [Invalid_argument] if [max_msgs < 1]. [tx_time]
+    (default zero) is the per-datagram NIC serialization cost passed to
+    {!Net.Network.create} — the bandwidth resource batching amortizes.
+    [obs] (default disabled) receives per-site
     [bcast_reliable]/[bcast_causal]/[bcast_total], [app_deliver] and
     [view_change] counters. [audit] (default disabled) receives the full
     message-lineage event stream — sends, per-site deliveries, order

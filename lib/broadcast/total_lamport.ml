@@ -2,12 +2,15 @@ module Stamp = Lclock.Lamport_clock.Stamp
 
 type msg_id = { mi_origin : Net.Site_id.t; mi_seq : int }
 
-let msg_id_equal a b = a.mi_origin = b.mi_origin && a.mi_seq = b.mi_seq
-
+(* Frames: one Data datagram may carry several payloads; inner message i of
+   a frame led by [id] has msg_id {id.mi_origin; id.mi_seq + i}. The whole
+   frame runs ONE agreement round (one proposal per site, one final stamp),
+   so inner messages share their final stamp and only the (origin, seq)
+   components of the delivery order distinguish them. *)
 type 'a wire =
-  | Data of { id : msg_id; payload : 'a }
+  | Data of { id : msg_id; payloads : 'a list }
   | Propose of { id : msg_id; stamp : Stamp.t }
-  | Final of { id : msg_id; stamp : Stamp.t }
+  | Final of { id : msg_id; count : int; stamp : Stamp.t }
 
 let classify = function
   | Data _ -> "data"
@@ -22,16 +25,37 @@ type 'a entry = {
 }
 
 type 'a pending_send = {
-  ps_id : msg_id;
+  ps_count : int;  (* payloads in the frame *)
   mutable ps_proposals : Stamp.t list;  (* one per site *)
 }
+
+(* Delivery order: final stamp first, ties broken by origin site then seq.
+   Ties are real under framing — every inner message of a frame carries the
+   frame's single final stamp — and the (origin, seq) tail makes the order
+   total and identical at every site. *)
+module Pool_key = struct
+  type t = Stamp.t * Net.Site_id.t * int
+
+  let compare (s1, o1, q1) (s2, o2, q2) =
+    let c = Stamp.compare s1 s2 in
+    if c <> 0 then c
+    else
+      let c = Int.compare o1 o2 in
+      if c <> 0 then c else Int.compare q1 q2
+end
+
+module Pool = Map.Make (Pool_key)
+
+let key_of entry = (entry.e_stamp, entry.e_id.mi_origin, entry.e_id.mi_seq)
 
 type 'a t = {
   group : 'a group;
   me : Net.Site_id.t;
   clock : Lclock.Lamport_clock.t;
-  mutable pool : 'a entry list;  (* undelivered messages *)
-  mutable sends : 'a pending_send list;  (* awaiting proposals *)
+  by_id : (Net.Site_id.t * int, 'a entry) Hashtbl.t;  (* undelivered *)
+  mutable pool : 'a entry Pool.t;  (* same entries, stamp-ordered *)
+  sends : (Net.Site_id.t * int, 'a pending_send) Hashtbl.t;
+      (* own frames awaiting proposals, keyed by leading msg_id *)
   mutable next_seq : int;  (* per-origin data sequence *)
   mutable delivered : int;  (* global delivery counter *)
   mutable deliver_cb : (origin:Net.Site_id.t -> global_seq:int -> 'a -> unit) option;
@@ -49,40 +73,51 @@ let stats group = Net.Network.stats group.g_net
 let site t = t.me
 let set_deliver t cb = t.deliver_cb <- Some cb
 
-(* Deliver every final entry whose stamp is minimal in the whole pool: a
-   tentative entry can only get a final stamp >= its proposal, so anything
-   smaller than every pool member is safe. *)
+let id_key id = (id.mi_origin, id.mi_seq)
+
+(* Deliver final entries from the front of the stamp order: a tentative
+   entry can only get a final stamp >= its current proposal, so while the
+   pool minimum is final it can no longer be preceded. Equal final stamps
+   (framing) are no obstacle: the (origin, seq) tie-break already ordered
+   them, whereas requiring a strict minimum would block such entries
+   forever. *)
 let rec drain t =
-  let minimal entry =
-    List.for_all
-      (fun other ->
-        msg_id_equal other.e_id entry.e_id
-        || Stamp.compare entry.e_stamp other.e_stamp < 0)
-      t.pool
-  in
-  match List.find_opt (fun e -> e.e_final && minimal e) t.pool with
-  | Some entry ->
-    t.pool <-
-      List.filter (fun e -> not (msg_id_equal e.e_id entry.e_id)) t.pool;
+  match Pool.min_binding_opt t.pool with
+  | Some (key, entry) when entry.e_final ->
+    t.pool <- Pool.remove key t.pool;
+    Hashtbl.remove t.by_id (id_key entry.e_id);
     let seq = t.delivered in
     t.delivered <- t.delivered + 1;
     (match t.deliver_cb with
     | Some cb -> cb ~origin:entry.e_id.mi_origin ~global_seq:seq entry.e_payload
     | None -> ());
     drain t
-  | None -> ()
+  | Some _ | None -> ()
+
+let add_entry t entry =
+  Hashtbl.replace t.by_id (id_key entry.e_id) entry;
+  t.pool <- Pool.add (key_of entry) entry t.pool
 
 let handle t ~src wire =
   match wire with
-  | Data { id; payload } ->
+  | Data { id; payloads } ->
     let proposal =
       { Stamp.clock = Lclock.Lamport_clock.tick t.clock; site = t.me }
     in
-    t.pool <- { e_id = id; e_payload = payload; e_stamp = proposal; e_final = false } :: t.pool;
+    List.iteri
+      (fun i payload ->
+        add_entry t
+          {
+            e_id = { mi_origin = id.mi_origin; mi_seq = id.mi_seq + i };
+            e_payload = payload;
+            e_stamp = proposal;
+            e_final = false;
+          })
+      payloads;
     Net.Network.send t.group.g_net ~src:t.me ~dst:src (Propose { id; stamp = proposal })
   | Propose { id; stamp } -> begin
     ignore (Lclock.Lamport_clock.observe t.clock stamp.Stamp.clock);
-    match List.find_opt (fun ps -> msg_id_equal ps.ps_id id) t.sends with
+    match Hashtbl.find_opt t.sends (id_key id) with
     | None -> ()
     | Some ps ->
       ps.ps_proposals <- stamp :: ps.ps_proposals;
@@ -92,25 +127,36 @@ let handle t ~src wire =
             (fun acc s -> if Stamp.compare s acc > 0 then s else acc)
             (List.hd ps.ps_proposals) (List.tl ps.ps_proposals)
         in
-        t.sends <- List.filter (fun s -> not (msg_id_equal s.ps_id id)) t.sends;
-        Net.Network.send_all t.group.g_net ~src:t.me (Final { id; stamp = final })
+        Hashtbl.remove t.sends (id_key id);
+        Net.Network.send_all t.group.g_net ~src:t.me
+          (Final { id; count = ps.ps_count; stamp = final })
       end
   end
-  | Final { id; stamp } -> begin
+  | Final { id; count; stamp } ->
     ignore (Lclock.Lamport_clock.observe t.clock stamp.Stamp.clock);
-    match List.find_opt (fun e -> msg_id_equal e.e_id id) t.pool with
-    | None -> ()
-    | Some entry ->
-      entry.e_stamp <- stamp;
-      entry.e_final <- true;
-      drain t
-  end
+    for i = 0 to count - 1 do
+      let inner = { mi_origin = id.mi_origin; mi_seq = id.mi_seq + i } in
+      match Hashtbl.find_opt t.by_id (id_key inner) with
+      | None -> ()
+      | Some entry ->
+        t.pool <- Pool.remove (key_of entry) t.pool;
+        entry.e_stamp <- stamp;
+        entry.e_final <- true;
+        t.pool <- Pool.add (key_of entry) entry t.pool
+    done;
+    drain t
 
-let broadcast t payload =
-  let id = { mi_origin = t.me; mi_seq = t.next_seq } in
-  t.next_seq <- t.next_seq + 1;
-  t.sends <- { ps_id = id; ps_proposals = [] } :: t.sends;
-  Net.Network.send_all t.group.g_net ~src:t.me (Data { id; payload })
+let broadcast_many t payloads =
+  match payloads with
+  | [] -> ()
+  | _ ->
+    let id = { mi_origin = t.me; mi_seq = t.next_seq } in
+    t.next_seq <- t.next_seq + List.length payloads;
+    Hashtbl.replace t.sends (id_key id)
+      { ps_count = List.length payloads; ps_proposals = [] };
+    Net.Network.send_all t.group.g_net ~src:t.me (Data { id; payloads })
+
+let broadcast t payload = broadcast_many t [ payload ]
 
 let create_group engine ~n ~latency () =
   let net = Net.Network.create engine ~n ~latency ~classify () in
@@ -120,8 +166,9 @@ let create_group engine ~n ~latency () =
       group;
       me;
       clock = Lclock.Lamport_clock.create ();
-      pool = [];
-      sends = [];
+      by_id = Hashtbl.create 32;
+      pool = Pool.empty;
+      sends = Hashtbl.create 8;
       next_seq = 0;
       delivered = 0;
       deliver_cb = None;

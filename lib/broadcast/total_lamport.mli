@@ -30,3 +30,11 @@ val set_deliver : 'a t -> (origin:Net.Site_id.t -> global_seq:int -> 'a -> unit)
     0 at every site). *)
 
 val broadcast : 'a t -> 'a -> unit
+
+val broadcast_many : 'a t -> 'a list -> unit
+(** Batched variant: the payload list travels as one wire frame and runs a
+    single agreement round — one proposal per site, one final stamp shared
+    by every inner message. Inner messages still occupy one slot each in
+    the total order; equal stamps are broken by (origin site, sequence), so
+    all sites deliver the frame's contents contiguously and in sender
+    order. No-op on the empty list. *)

@@ -12,6 +12,7 @@ type cfg = {
   shrink_budget : int;
   planted_bug : bool;
   audit : bool;
+  batch : Broadcast.Endpoint.batch option;
 }
 
 let default_cfg =
@@ -33,6 +34,7 @@ let default_cfg =
     shrink_budget = 64;
     planted_bug = false;
     audit = false;
+    batch = None;
   }
 
 type case = {
@@ -40,6 +42,9 @@ type case = {
   seed : int;
   n_sites : int;
   plan : Fault_plan.t;
+  batch : Broadcast.Endpoint.batch option;
+      (* carried in the case (and its repro line) so a replay is exact
+         without having to restate CLI flags *)
 }
 
 (* One seed maps to one (site count, fault plan) pair, shared by every
@@ -57,7 +62,7 @@ let plan_of_seed cfg ~seed =
 
 let case_of_seed cfg protocol ~seed =
   let n_sites, plan = plan_of_seed cfg ~seed in
-  { protocol; seed; n_sites; plan }
+  { protocol; seed; n_sites; plan; batch = cfg.batch }
 
 let spec_of_case cfg case =
   (* Fast failure detection (see the Fault_plan timing profile): fault
@@ -69,6 +74,7 @@ let spec_of_case cfg case =
       Repdb.Config.hb_interval = Fault_plan.hb_interval;
       suspect_after = Fault_plan.suspect_after;
       atomic_premature_ack = cfg.planted_bug;
+      batch = case.batch;
     }
   in
   R.spec ~config ~profile:cfg.profile ~txns_per_site:cfg.txns_per_site
@@ -166,10 +172,14 @@ let fuzz cfg ~seeds =
 (* Repro lines *)
 
 let repro case =
-  Printf.sprintf "proto=%s seed=%d sites=%d script=%s"
+  Printf.sprintf "proto=%s seed=%d sites=%d script=%s%s"
     (Repdb.Protocol.name case.protocol)
     case.seed case.n_sites
     (Fault_plan.to_string case.plan)
+    (match case.batch with
+    | None -> ""
+    | Some { Broadcast.Endpoint.max_msgs; max_delay } ->
+      Printf.sprintf " batch=%d/%d" max_msgs (Sim.Time.to_us max_delay))
 
 let case_of_repro line =
   let fields =
@@ -184,8 +194,28 @@ let case_of_repro line =
       (String.split_on_char ' ' (String.trim line))
   in
   let field k = List.assoc_opt k fields in
-  match (field "proto", field "seed", field "sites", field "script") with
-  | Some proto, Some seed, Some sites, Some script -> (
+  (* Optional batching field, absent from pre-batching repro lines:
+     "batch=<max_msgs>/<max_delay_us>". *)
+  let batch =
+    match field "batch" with
+    | None -> Ok None
+    | Some s -> (
+      match String.split_on_char '/' s with
+      | [ msgs; delay_us ] -> (
+        match (int_of_string_opt msgs, int_of_string_opt delay_us) with
+        | Some m, Some d when m >= 1 && d >= 0 ->
+          Ok
+            (Some
+               {
+                 Broadcast.Endpoint.max_msgs = m;
+                 max_delay = Sim.Time.of_us d;
+               })
+        | _ -> Error (Printf.sprintf "bad batch field %S" s))
+      | _ -> Error (Printf.sprintf "bad batch field %S" s))
+  in
+  match (field "proto", field "seed", field "sites", field "script", batch) with
+  | _, _, _, _, Error e -> Error e
+  | Some proto, Some seed, Some sites, Some script, Ok batch -> (
     match
       ( Repdb.Protocol.of_name proto,
         int_of_string_opt seed,
@@ -193,14 +223,15 @@ let case_of_repro line =
         Fault_plan.of_string script )
     with
     | Some protocol, Some seed, Some n_sites, Ok plan when n_sites >= 1 ->
-      Ok { protocol; seed; n_sites; plan }
+      Ok { protocol; seed; n_sites; plan; batch }
     | None, _, _, _ -> Error (Printf.sprintf "unknown protocol %S" proto)
     | _, _, _, Error e -> Error e
     | _ -> Error "bad seed/sites field"
   )
   | _ ->
     Error
-      "expected \"proto=<name> seed=<int> sites=<int> script=<episodes>\""
+      "expected \"proto=<name> seed=<int> sites=<int> script=<episodes> \
+       [batch=<msgs>/<delay_us>]\""
 
 let failure_lines f =
   [

@@ -38,18 +38,24 @@ type cfg = {
       (** also run the {!Audit.Log} broadcast-contract monitors on every
           case: a monitor violation fails (and shrinks) the case exactly
           like a serializability violation *)
+  batch : Broadcast.Endpoint.batch option;
+      (** run every case with sender-side broadcast batching (frames of up
+          to [max_msgs] payloads); [None] = unbatched dispatch *)
 }
 
 val default_cfg : cfg
 (** 4/5/7 sites, 60 txns/site at mpl 2 over a 64-key contended workload,
     25% read-only; up to 3 episodes; the three broadcast protocols;
-    shrink budget 64; no planted bug; audit off. *)
+    shrink budget 64; no planted bug; audit off; no batching. *)
 
 type case = {
   protocol : Repdb.Protocol.id;
   seed : int;
   n_sites : int;
   plan : Fault_plan.t;
+  batch : Broadcast.Endpoint.batch option;
+      (** copied from the generating [cfg] so the repro line replays the
+          exact run without restating flags *)
 }
 
 val plan_of_seed : cfg -> seed:int -> int * Fault_plan.t
@@ -96,7 +102,9 @@ val fuzz : cfg -> seeds:int list -> outcome
 val repro : case -> string
 (** ["proto=atomic seed=17 sites=5 script=crash(3)@400000+300000"] —
     replayable via {!case_of_repro}; times are integer microseconds so the
-    round trip is byte-exact. *)
+    round trip is byte-exact. Batched cases append
+    ["batch=<max_msgs>/<max_delay_us>"]; lines without the field parse as
+    unbatched, so pre-batching repro lines keep replaying. *)
 
 val case_of_repro : string -> (case, string) result
 

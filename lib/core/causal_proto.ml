@@ -460,6 +460,7 @@ let create engine config ~history =
       ~latency:config.Config.latency ~classify
       ~hb_interval:config.Config.hb_interval
       ~suspect_after:config.Config.suspect_after ~flood:config.Config.flood
+      ?batch:config.Config.batch ~tx_time:config.Config.tx_time
       ?loss:config.Config.loss
       ~obs:(Obs.Recorder.registry config.Config.obs)
       ~audit:config.Config.audit

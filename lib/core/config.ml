@@ -7,6 +7,8 @@ type t = {
   early_ww_abort : bool;
   deadlock_check_period : Sim.Time.t;
   flood : bool;
+  batch : Broadcast.Endpoint.batch option;
+  tx_time : Sim.Time.t;
   atomic_batch_writes : bool;
   atomic_premature_ack : bool;
   loss : Net.Network.loss option;
@@ -26,6 +28,8 @@ let default ~n_sites =
     early_ww_abort = false;
     deadlock_check_period = Sim.Time.of_ms 100;
     flood = false;
+    batch = None;
+    tx_time = Sim.Time.zero;
     atomic_batch_writes = false;
     atomic_premature_ack = false;
     loss = None;

@@ -17,6 +17,14 @@ type t = {
   deadlock_check_period : Sim.Time.t;
       (** baseline: period of the global waits-for-graph detector *)
   flood : bool;  (** gossip relay in the broadcast layer (cost modelling) *)
+  batch : Broadcast.Endpoint.batch option;
+      (** sender-side broadcast batching: coalesce outgoing broadcasts into
+          wire frames (see {!Broadcast.Endpoint.batch}); [None] = one
+          datagram per broadcast, byte-identical to earlier versions
+          (experiment E15 sweeps the batch size) *)
+  tx_time : Sim.Time.t;
+      (** per-datagram NIC serialization cost (zero = infinitely fast
+          interface); the bandwidth resource that makes batching pay *)
   atomic_batch_writes : bool;
       (** atomic protocol ablation: defer the write set into the commit
           request (one atomic message per transaction, the style of the

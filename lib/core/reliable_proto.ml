@@ -30,12 +30,21 @@ type payload =
           counted against exactly this set (minus members the decider has
           since removed from its view), so every site evaluates the same
           electorate even while views are changing *)
-  | Vote of { txn : Txn_id.t; voter : Site_id.t; yes : bool }
+  | Vote of { txn : Txn_id.t; voter : Site_id.t; yes : bool; recast : bool }
+      (** [recast] marks a vote re-cast after a view change (the voter threw
+          its accumulated tally away, see [on_view_change]); a site that has
+          already decided answers one with the outcome *)
   | No_echo of { txn : Txn_id.t; voter : Site_id.t }
       (** "I have seen [voter]'s negative vote": each site re-broadcasts the
           first negative vote it learns of (directly or via an echo), and an
           abort is finalized only once a majority of all sites is known to
           have seen one — see [check_decision] *)
+  | Decision of { txn : Txn_id.t; commit : bool }
+      (** cooperative termination: a site that has already decided answers a
+          straggler's re-cast vote (see [on_view_change]) with the outcome,
+          so a member left undecided across view changes — e.g. because a
+          participant that joined after the decision can never vote — still
+          terminates *)
   | Snapshot of { xfer : State_transfer.t; active : active_export list }
 
 let classify = function
@@ -43,6 +52,7 @@ let classify = function
   | Commit_req _ -> "commitreq"
   | Vote _ -> "vote"
   | No_echo _ -> "vote"
+  | Decision _ -> "vote"
   | Snapshot _ -> "snapshot"
 
 (* Per-transaction participant state; every site keeps one per update
@@ -60,6 +70,7 @@ type part_rec = {
          plus every site whose echo was delivered here *)
   mutable p_echo_sent : bool;
   mutable p_decided : bool;
+  mutable p_committed : bool;  (* the outcome; meaningful once decided *)
 }
 
 type origin_rec = { o_spec : Op.spec; o_on_done : outcome -> unit }
@@ -122,6 +133,7 @@ let part_of st ~txn ~origin =
         p_no_witnesses = Site_id.Set.empty;
         p_echo_sent = false;
         p_decided = false;
+        p_committed = false;
       }
     in
     Txn_id.Tbl.add st.part txn p;
@@ -139,6 +151,7 @@ let abort_at t st p ~reason =
   if not p.p_decided then begin
     tracef p.p_txn "ABORT at site %d@." (Site_core.site st.core);
     p.p_decided <- true;
+    p.p_committed <- false;
     Site_core.abort_local st.core ~txn:p.p_txn;
     Obs_hooks.decide (obs t) ~now:(now t) ~site:(Site_core.site st.core)
       p.p_txn ~committed:false;
@@ -149,6 +162,7 @@ let commit_at t st p =
   if not p.p_decided then begin
     tracef p.p_txn "COMMIT at site %d@." (Site_core.site st.core);
     p.p_decided <- true;
+    p.p_committed <- true;
     Site_core.apply_commit st.core ~txn:p.p_txn;
     Obs_hooks.decide (obs t) ~now:(now t) ~site:(Site_core.site st.core)
       p.p_txn ~committed:true;
@@ -193,11 +207,11 @@ let check_decision t st p =
     end
   end
 
-let cast_vote st p =
+let cast_vote ?(recast = false) st p =
   let yes = not p.p_refused in
   ignore
     (Endpoint.broadcast ~txn:(atxn p.p_txn) st.ep `Reliable
-       (Vote { txn = p.p_txn; voter = Site_core.site st.core; yes }))
+       (Vote { txn = p.p_txn; voter = Site_core.site st.core; yes; recast }))
 
 let handle_write t st ~txn ~origin ~key ~value =
   let p = part_of st ~txn ~origin in
@@ -245,16 +259,39 @@ let note_no t st p ~voter ~witnesses =
   end;
   check_decision t st p
 
-let handle_vote t st ~txn ~origin ~voter ~yes =
+let handle_vote t st ~txn ~origin ~voter ~yes ~recast =
   let p = part_of st ~txn ~origin in
   tracef txn "site %d: vote %b from %d (decided=%b)@." (Site_core.site st.core) yes voter p.p_decided;
-  if not p.p_decided then begin
-    if yes then begin
-      p.p_votes_yes <- Site_id.Set.add voter p.p_votes_yes;
-      check_decision t st p
-    end
-    else note_no t st p ~voter ~witnesses:[ voter ]
+  if p.p_decided then begin
+    (* Cooperative termination: the voter is still undecided (it threw its
+       tally away at a view change) and we know the outcome — answer it.
+       Ordinary late votes for decided transactions stay ignored, so the
+       no-fault wire traffic is exactly the paper's. *)
+    if recast && voter <> Site_core.site st.core && Endpoint.is_ready st.ep
+    then
+      ignore
+        (Endpoint.broadcast ~txn:(atxn p.p_txn) st.ep `Reliable
+           (Decision { txn = p.p_txn; commit = p.p_committed }))
   end
+  else if yes then begin
+    p.p_votes_yes <- Site_id.Set.add voter p.p_votes_yes;
+    check_decision t st p
+  end
+  else note_no t st p ~voter ~witnesses:[ voter ]
+
+(* Adopt a finalized outcome from a peer that already decided. Decisions
+   are irrevocable and never split (see [check_decision]), so adopting one
+   is safe; the [p_cr_seen] guard keeps a straggling decision for a
+   transaction this site never processed — e.g. one that predates its
+   join, whose effects arrived inside the state-transfer snapshot — from
+   firing the commit hooks twice. *)
+let handle_decision t st ~txn ~origin ~commit =
+  let p = part_of st ~txn ~origin in
+  tracef txn "site %d: decision %b (decided=%b)@." (Site_core.site st.core)
+    commit p.p_decided;
+  if (not p.p_decided) && p.p_cr_seen then
+    if commit then commit_at t st p
+    else abort_at t st p ~reason:History.Write_conflict
 
 let handle_no_echo t st ~txn ~origin ~voter ~echoer =
   let p = part_of st ~txn ~origin in
@@ -268,23 +305,44 @@ let deliver t st (d : payload Endpoint.delivery) =
   | Write { txn; key; value } -> handle_write t st ~txn ~origin ~key ~value
   | Commit_req { txn; participants } ->
     handle_commit_req t st ~txn ~origin ~participants
-  | Vote { txn; voter; yes } ->
+  | Vote { txn; voter; yes; recast } ->
     (* the txn's origin is not the vote's broadcast origin *)
-    handle_vote t st ~txn ~origin:txn.Txn_id.origin ~voter ~yes
+    handle_vote t st ~txn ~origin:txn.Txn_id.origin ~voter ~yes ~recast
   | No_echo { txn; voter } ->
     handle_no_echo t st ~txn ~origin:txn.Txn_id.origin ~voter ~echoer:origin
+  | Decision { txn; commit } ->
+    handle_decision t st ~txn ~origin:txn.Txn_id.origin ~commit
   | Snapshot _ -> ()  (* snapshots ride only inside join commits *)
 
 (* A view change re-evaluates every pending transaction: the vote quorum
    shrinks with the view, and transactions whose origin left before their
-   commit request arrived can never terminate — abort them. *)
+   commit request arrived can never terminate — abort them.
+
+   Positive votes do not survive the change: they were cast against the old
+   membership, and counting them in the shrunken electorate breaks the
+   abort/commit split argument. Concretely: a participant's negative vote
+   can still be in flight (under batching, parked in an open frame for up
+   to [max_delay]) when a partition cuts a site off; if the cut-off site
+   then suspects the no-voter's side first, it transiently holds a
+   "majority" view of exactly the sites whose yes votes it cached and
+   commits — while the witness-majority side aborts. Requiring every
+   member to re-cast in the new view means a decision consults members
+   that retained the negative vote, which is what the stability argument
+   in [check_decision] relies on. Negative-vote knowledge is sticky by
+   design and is kept. *)
 let on_view_change t st view =
   Txn_id.Tbl.iter
     (fun _ p ->
       if not p.p_decided then begin
         if (not p.p_cr_seen) && not (Broadcast.View.mem view p.p_origin) then
           abort_at t st p ~reason:History.View_change
-        else check_decision t st p
+        else begin
+          if p.p_cr_seen then begin
+            p.p_votes_yes <- Site_id.Set.empty;
+            cast_vote ~recast:true st p
+          end;
+          check_decision t st p
+        end
       end)
     st.part
 
@@ -353,10 +411,10 @@ let install_snapshot t st = function
           ignore
             (Sim.Engine.schedule t.engine ~delay:Sim.Time.zero (fun () ->
                  if Endpoint.is_ready st.ep && not p.p_decided then
-                   cast_vote st p));
+                   cast_vote ~recast:true st p));
         check_decision t st p)
       active
-  | Write _ | Commit_req _ | Vote _ | No_echo _ ->
+  | Write _ | Commit_req _ | Vote _ | No_echo _ | Decision _ ->
     invalid_arg "Reliable_proto: bad snapshot payload"
 
 (* ---------------- construction and submission ---------------- *)
@@ -367,6 +425,7 @@ let create engine config ~history =
       ~latency:config.Config.latency ~classify
       ~hb_interval:config.Config.hb_interval
       ~suspect_after:config.Config.suspect_after ~flood:config.Config.flood
+      ?batch:config.Config.batch ~tx_time:config.Config.tx_time
       ?loss:config.Config.loss
       ~obs:(Obs.Recorder.registry config.Config.obs)
       ~audit:config.Config.audit

@@ -1,6 +1,6 @@
 (** The paper's evaluation, reproduced as tables.
 
-    One function per experiment in DESIGN.md's index (E1–E14); each returns
+    One function per experiment in DESIGN.md's index (E1–E15); each returns
     the rendered table(s) that `bench/main.exe` prints and EXPERIMENTS.md
     records. [quick] shrinks the workloads for use inside the test suite;
     the default sizes are what the committed EXPERIMENTS.md numbers come
@@ -68,6 +68,36 @@ val e14_audit_complexity : ?quick:bool -> unit -> Stats.Table.t
     broadcasts in two rounds, [w+1] causal in two, [w+1] atomic plus one
     ordering message in one). The last column is the online
     broadcast-contract monitors' verdict for the run. *)
+
+type e15_row = {
+  e15_protocol : string;
+  e15_batch : int;  (** frame capacity (max_msgs) *)
+  e15_committed : int;  (** committed inside the measurement window *)
+  e15_tps : float;
+  e15_p50_ms : float;
+  e15_p95_ms : float;
+  e15_order_per_commit : float;
+      (** sequencer order datagrams per committed transaction — one frame's
+          worth of assignments travels as one datagram, so this drops
+          toward 1/batch for the atomic protocol *)
+  e15_contract_ok : bool;  (** online broadcast-contract monitors' verdict *)
+}
+
+val e15_data : ?quick:bool -> unit -> e15_row list
+(** The raw E15 grid (protocol x batch size), for the benchmark driver's
+    JSON series. Deterministic and pool-size independent like {!all}. *)
+
+val e15_table_of : e15_row list -> Stats.Table.t
+(** Render a computed grid without re-running it — the benchmark driver
+    prints the table {e and} serializes the same rows to BENCH_*.json. *)
+
+val e15_batching : ?quick:bool -> unit -> Stats.Table.t
+(** Broadcast batching / group commit at saturation: a closed-loop load
+    (fixed in-flight population per site, time-windowed measurement) under
+    a per-datagram NIC serialization cost, swept over frame capacities
+    1/4/16/64 for the three broadcast protocols. Shows committed
+    throughput, p50/p95 commit latency, and the amortized sequencer
+    order-datagram cost per committed transaction. *)
 
 val registry : (string * (?quick:bool -> unit -> Stats.Table.t)) list
 (** The experiments above, keyed by their DESIGN.md identifiers, in order,

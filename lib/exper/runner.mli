@@ -95,6 +95,44 @@ type result = {
 
 val run : spec -> result
 
+(** {2 Saturation runs} *)
+
+type sat_result = {
+  sat_protocol_name : string;
+  sat_committed : int;  (** decided Committed inside the window *)
+  sat_aborted : int;
+  sat_throughput_tps : float;  (** committed / measurement window *)
+  sat_latency_ms : Stats.Summary.t;
+      (** commit latency of committed in-window transactions; feed
+          {!Stats.Summary.percentile} for p50/p95 *)
+  sat_order_wire_msgs : int;
+      (** sequencer order datagrams whose assignment fell in the window
+          (batched assignments count once per frame); 0 with audit off *)
+  sat_datagrams : int;  (** whole run, not windowed *)
+  sat_audit : Audit.Log.t;
+}
+
+val run_saturation :
+  ?config:Repdb.Config.t ->
+  ?profile:Workload.profile ->
+  ?load:Workload.closed_loop ->
+  ?seed:int ->
+  ?collect_audit:bool ->
+  ?clients_on:Net.Site_id.t list ->
+  n_sites:int ->
+  Repdb.Protocol.id ->
+  sat_result
+(** Time-windowed closed loop for experiment E15: [load.target_inflight]
+    clients per site resubmit the moment their previous transaction
+    decides, with no transaction quota — the system runs at a fixed
+    in-flight population until the measurement window closes, and only
+    decisions inside the window are counted. [clients_on] restricts the
+    load to the listed sites (default: all); E15 keeps the sequencer site
+    client-free because its own transactions order locally without a
+    network round trip, so nothing throttles their loop and they drown
+    the distributed commit path the experiment measures. Deterministic
+    per seed. *)
+
 (** {2 Checks over results} *)
 
 val check_execution :

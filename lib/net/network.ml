@@ -6,11 +6,18 @@ type 'm t = {
   latency : Latency.t;
   classify : 'm -> string;
   loopback : Sim.Time.t;
+  tx_time : Sim.Time.t;
   trace : Sim.Trace.t option;
   mutable loss : loss option;
   rng : Sim.Rng.t;
   handlers : (src:Site_id.t -> 'm -> unit) option array;
   up : bool array;
+  (* NIC serialization: when [tx_time] is non-zero, each outgoing
+     non-self datagram occupies the sender's interface for [tx_time]
+     before it enters the link — the per-site transmit clock tracks when
+     the interface frees up. Zero (the default) keeps the interface
+     infinitely fast and this array untouched. *)
+  tx_clock : Sim.Time.t array;
   (* FIFO guarantee: next admissible delivery time per ordered pair,
      indexed [src * n + dst]. *)
   link_clock : Sim.Time.t array;
@@ -24,7 +31,7 @@ let validate_loss ~who = function
   | Some _ | None -> ()
 
 let create engine ~n ~latency ?(classify = fun _ -> "msg")
-    ?(loopback = Sim.Time.of_us 10) ?trace ?loss () =
+    ?(loopback = Sim.Time.of_us 10) ?(tx_time = Sim.Time.zero) ?trace ?loss () =
   if n <= 0 then invalid_arg "Network.create: n <= 0";
   validate_loss ~who:"Network.create" loss;
   {
@@ -33,6 +40,7 @@ let create engine ~n ~latency ?(classify = fun _ -> "msg")
     latency;
     classify;
     loopback;
+    tx_time;
     trace;
     loss;
     rng = Sim.Rng.split (Sim.Engine.rng engine);
@@ -41,6 +49,7 @@ let create engine ~n ~latency ?(classify = fun _ -> "msg")
     link_clock = Array.make (n * n) Sim.Time.zero;
     partition_group = None;
     stats = Net_stats.create ();
+    tx_clock = Array.make n Sim.Time.zero;
   }
 
 let engine t = t.engine
@@ -103,7 +112,19 @@ let deliver_scheduled t ~src ~dst msg =
     | Some _ | None -> delay
   in
   let now = Sim.Engine.now t.engine in
-  let earliest = Sim.Time.add now delay in
+  (* Serialization onto the wire: the datagram departs once the sender's
+     interface is free, and holds it for [tx_time]. Self-deliveries are
+     local enqueues and skip the interface. *)
+  let departure =
+    if Sim.Time.compare t.tx_time Sim.Time.zero = 0 || Site_id.equal src dst
+    then now
+    else begin
+      let d = Sim.Time.add (Sim.Time.max now t.tx_clock.(src)) t.tx_time in
+      t.tx_clock.(src) <- d;
+      d
+    end
+  in
+  let earliest = Sim.Time.add departure delay in
   let slot = (src * t.n) + dst in
   let at = Sim.Time.max earliest t.link_clock.(slot) in
   t.link_clock.(slot) <- at;

@@ -33,6 +33,7 @@ val create :
   latency:Latency.t ->
   ?classify:('m -> string) ->
   ?loopback:Sim.Time.t ->
+  ?tx_time:Sim.Time.t ->
   ?trace:Sim.Trace.t ->
   ?loss:loss ->
   unit ->
@@ -40,9 +41,15 @@ val create :
 (** [classify] labels messages for per-category accounting (default: one
     ["msg"] bucket). [loopback] is the self-delivery delay (default 10us —
     strictly positive so self-delivery is asynchronous like everything
-    else). [trace], when given, records every send, delivery and drop (with
-    the classifier's label) into the bounded ring — the debugging hook for
-    post-mortems on misbehaving runs. *)
+    else). [tx_time] (default zero) is the per-datagram transmit
+    serialization cost: each non-self datagram occupies the sender's
+    interface for [tx_time] before entering the link, so a site's outgoing
+    datagrams queue behind each other — the bandwidth resource that makes
+    batching pay. Zero keeps the interface infinitely fast and the
+    schedule byte-identical to earlier versions. [trace], when given,
+    records every send, delivery and drop (with the classifier's label)
+    into the bounded ring — the debugging hook for post-mortems on
+    misbehaving runs. *)
 
 val engine : 'm t -> Sim.Engine.t
 val n_sites : 'm t -> int

@@ -34,10 +34,13 @@ traces produced for each protocol and for the audited chaos replays.
 import json
 import sys
 
-AUDIT_SCHEMA_VERSION = 1
+AUDIT_SCHEMA_VERSION = 2
 
 # Required extra fields per audit event type ("msg" expands to the
 # origin/cls/seq triple every message-carrying event embeds inline).
+# v2: "send" and "order" events may additionally carry an optional
+# integer "frame" — the wire frame a batched broadcast was coalesced
+# into / the sequencer sweep a batched assignment travelled in.
 AUDIT_EVENT_FIELDS = {
     "send": ["msg", "vc"],
     "deliver": ["msg", "site", "vc", "flush"],
@@ -68,6 +71,8 @@ def check_audit_lines(path, lines):
     if not isinstance(n_sites, int) or n_sites < 1:
         return fail(path, f"line {n_line}: bad n_sites {n_sites!r}")
     events = 0
+    send_frames = {}  # (origin, frame) -> [(line_no, seq), ...]
+    order_frames = {}  # (by, frame) -> [(line_no, gseq), ...]
     for n, obj in lines:
         ty = obj.get("type")
         if ty == "schema":
@@ -92,8 +97,41 @@ def check_audit_lines(path, lines):
                 return fail(
                     path, f"line {n}: {site_field}={v} outside 0..{n_sites - 1}"
                 )
+        if "frame" in obj:
+            frame = obj["frame"]
+            if ty not in ("send", "order"):
+                return fail(path, f"line {n}: {ty} must not carry a frame tag")
+            if not isinstance(frame, int) or frame < 0:
+                return fail(path, f"line {n}: bad frame id {frame!r}")
+            if ty == "send":
+                send_frames.setdefault((obj["origin"], frame), []).append(
+                    (n, obj["seq"])
+                )
+            else:
+                order_frames.setdefault((obj["by"], frame), []).append(
+                    (n, obj["gseq"])
+                )
         events += 1
-    print(f"{path}: audit OK ({events} events, {n_sites} sites)")
+    # Batched-frame lineage: messages coalesced into one wire frame are
+    # stamped back-to-back by their sender, so per (origin, frame) the
+    # seqs form one contiguous run with no duplicates (the seq counter
+    # is per origin, shared across classes). Likewise a sequencer sweep
+    # assigns one contiguous global_seq run per frame.
+    for label, groups in (("send", send_frames), ("order", order_frames)):
+        for key, members in groups.items():
+            seqs = [s for _, s in members]
+            lo, hi = min(seqs), max(seqs)
+            if len(set(seqs)) != len(seqs) or hi - lo + 1 != len(seqs):
+                return fail(
+                    path,
+                    f"line {members[0][0]}: {label} frame {key} is not one "
+                    f"contiguous run: {sorted(seqs)}",
+                )
+    batched = sum(len(m) for m in send_frames.values())
+    print(
+        f"{path}: audit OK ({events} events, {n_sites} sites, "
+        f"{len(send_frames)} send frame(s) / {batched} batched send(s))"
+    )
     return True
 
 

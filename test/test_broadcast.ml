@@ -248,6 +248,155 @@ let prop_delay_causal =
           delivered
       end)
 
+(* Regression oracle: the pre-rewrite quadratic implementation, verbatim.
+   [drain] iterated [List.filter] over the whole pending list to a fixpoint,
+   releasing deliverable entries in arrival order. The rewrite replaced the
+   scan with indexed wake-up; this reference pins down the observable
+   contract the rewrite must keep — same releases, same (arrival-stable)
+   release order, same delivered cut. *)
+module Delay_reference = struct
+  type 'a release = { origin : Net.Site_id.t; vc : Vc.t; payload : 'a }
+
+  type 'a t = {
+    delivered : int array;
+    mutable pending : 'a release list;  (* in arrival order *)
+  }
+
+  let create ~n = { delivered = Array.make n 0; pending = [] }
+
+  type 'a offer_result = Ready of 'a release list | Buffered | Duplicate
+
+  let seq_of release = Vc.get release.vc release.origin
+
+  let deliverable t release =
+    let v = Vc.to_array release.vc in
+    let ok = ref (v.(release.origin) = t.delivered.(release.origin) + 1) in
+    Array.iteri
+      (fun k vk ->
+        if k <> release.origin && vk > t.delivered.(k) then ok := false)
+      v;
+    !ok
+
+  let mark_delivered t release =
+    t.delivered.(release.origin) <- t.delivered.(release.origin) + 1
+
+  let drain t =
+    let released = ref [] in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      let still_pending =
+        List.filter
+          (fun r ->
+            if deliverable t r then begin
+              mark_delivered t r;
+              released := r :: !released;
+              progress := true;
+              false
+            end
+            else true)
+          t.pending
+      in
+      t.pending <- still_pending
+    done;
+    List.rev !released
+
+  let offer t ~origin ~vc payload =
+    let release = { origin; vc; payload } in
+    let seq = seq_of release in
+    if seq <= t.delivered.(origin) then Duplicate
+    else if
+      List.exists
+        (fun r -> Net.Site_id.equal r.origin origin && seq_of r = seq)
+        t.pending
+    then Duplicate
+    else if deliverable t release then begin
+      mark_delivered t release;
+      Ready (release :: drain t)
+    end
+    else begin
+      t.pending <- t.pending @ [ release ];
+      Buffered
+    end
+
+  let fast_forward t ~origin ~count =
+    if count <= t.delivered.(origin) then []
+    else begin
+      t.delivered.(origin) <- count;
+      t.pending <-
+        List.filter
+          (fun r -> not (Net.Site_id.equal r.origin origin && seq_of r <= count))
+          t.pending;
+      drain t
+    end
+end
+
+(* The indexed rewrite against the reference: identical release sequence
+   (values AND order — arrival order within a wake-up sweep is part of the
+   contract) and identical delivered cut, over randomized causal histories,
+   arrival shuffles and an occasional fast-forward jump. *)
+let prop_delay_matches_reference =
+  QCheck.Test.make
+    ~name:"delay queue rewrite matches the quadratic reference" ~count:100
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Sim.Rng.create ~seed in
+      let n = 4 in
+      let counters = Array.make n 0 in
+      let sent = ref [] in
+      let site_vc = Array.init n (fun _ -> Array.make n 0) in
+      for _ = 1 to 40 do
+        let s = Sim.Rng.int rng n in
+        let o = Sim.Rng.int rng n in
+        Array.iteri
+          (fun i v -> site_vc.(s).(i) <- Stdlib.max v site_vc.(s).(i))
+          site_vc.(o);
+        counters.(s) <- counters.(s) + 1;
+        site_vc.(s).(s) <- counters.(s);
+        sent := (s, Array.copy site_vc.(s)) :: !sent
+      done;
+      let messages = Array.of_list (List.rev !sent) in
+      let order = Array.init (Array.length messages) Fun.id in
+      for i = Array.length order - 1 downto 1 do
+        let j = Sim.Rng.int rng (i + 1) in
+        let t = order.(i) in
+        order.(i) <- order.(j);
+        order.(j) <- t
+      done;
+      let q = Broadcast.Delay_queue.create ~n in
+      let r = Delay_reference.create ~n in
+      let q_rel = ref [] and r_rel = ref [] in
+      let record into rs = List.iter (fun x -> into := x :: !into) rs in
+      let step i idx =
+        let origin, stamp = messages.(idx) in
+        let vc = Vc.of_array stamp in
+        (match Broadcast.Delay_queue.offer q ~origin ~vc idx with
+        | Broadcast.Delay_queue.Ready rs ->
+          record q_rel (List.map (fun x -> x.Broadcast.Delay_queue.payload) rs)
+        | Broadcast.Delay_queue.Buffered | Broadcast.Delay_queue.Duplicate -> ());
+        (match Delay_reference.offer r ~origin ~vc idx with
+        | Delay_reference.Ready rs ->
+          record r_rel (List.map (fun x -> x.Delay_reference.payload) rs)
+        | Delay_reference.Buffered | Delay_reference.Duplicate -> ());
+        (* midway, jump one origin's counter like a join re-base does *)
+        if i = Array.length order / 2 then begin
+          let origin = Sim.Rng.int rng n in
+          let count = r.Delay_reference.delivered.(origin) + Sim.Rng.int rng 3 in
+          record q_rel
+            (List.map
+               (fun x -> x.Broadcast.Delay_queue.payload)
+               (Broadcast.Delay_queue.fast_forward q ~origin ~count));
+          record r_rel
+            (List.map
+               (fun x -> x.Delay_reference.payload)
+               (Delay_reference.fast_forward r ~origin ~count))
+        end
+      in
+      Array.iteri step order;
+      List.rev !q_rel = List.rev !r_rel
+      && Vc.to_array (Broadcast.Delay_queue.delivered_vc q)
+         = r.Delay_reference.delivered)
+
 (* ------------------------------------------------------------------ *)
 (* Order_state *)
 
@@ -339,11 +488,11 @@ let test_view () =
 
 type rcv = { r_site : int; r_payload : string; r_seq : int option; r_vc : Vc.t option }
 
-let setup ?(n = 4) ?(seed = 3) ?hb_interval ?suspect_after () =
+let setup ?(n = 4) ?(seed = 3) ?hb_interval ?suspect_after ?batch ?tx_time () =
   let engine = Sim.Engine.create ~seed () in
   let group =
     Ep.create_group engine ~n ~latency:Net.Latency.lan ?hb_interval
-      ?suspect_after ()
+      ?suspect_after ?batch ?tx_time ()
   in
   let log = ref [] in
   Array.iter
@@ -607,6 +756,72 @@ let test_lamport_costs_more_than_sequencer () =
   let d = Net.Net_stats.datagrams (Tl.stats group) in
   check_int "datagrams for one broadcast" 15 d
 
+(* Equal-stamp regression. All members of a frame share one final Lamport
+   stamp, so the hold-back pool holds several entries whose stamps compare
+   equal. The pre-fix [drain] released an entry only when its stamp was
+   STRICTLY minimal over the whole pool ([Stamp.compare ... < 0] against
+   every other entry): two equal-stamped entries each failed the test
+   against the other, nothing was ever released, and every frame of two or
+   more messages livelocked — this test then fails with zero deliveries.
+   The fix breaks ties by (stamp, origin, seq). *)
+let test_lamport_frame_equal_stamps () =
+  let engine, group, log = setup_lamport ~n:3 () in
+  Tl.broadcast_many (Tl.endpoints group).(1) [ "a"; "b"; "c"; "d" ];
+  Sim.Engine.run_until engine (Sim.Time.of_sec 1.0);
+  for s = 0 to 2 do
+    Alcotest.(check (list (pair int string)))
+      (Printf.sprintf "site %d: frame delivered contiguously in sender order" s)
+      [ (0, "a"); (1, "b"); (2, "c"); (3, "d") ]
+      (lamport_per_site log s)
+  done
+
+(* Frames from several senders racing: every site agrees on one total
+   order, delivers everything exactly once with contiguous global
+   sequence numbers, and each frame's members stay contiguous and in
+   sender order within it (they share a final stamp, so only the
+   (origin, seq) tie-break orders them). *)
+let test_lamport_interleaved_frames () =
+  let engine, group, log = setup_lamport ~n:4 ~seed:21 () in
+  let eps = Tl.endpoints group in
+  Tl.broadcast_many eps.(0) [ "0a"; "0b"; "0c" ];
+  Tl.broadcast_many eps.(2) [ "2a"; "2b" ];
+  Tl.broadcast eps.(3) "3a";
+  Tl.broadcast_many eps.(1) [ "1a"; "1b"; "1c"; "1d" ];
+  Sim.Engine.run_until engine (Sim.Time.of_sec 1.0);
+  let seq0 = lamport_per_site log 0 in
+  check_int "all delivered" 10 (List.length seq0);
+  Alcotest.(check (list int)) "contiguous seqs" (List.init 10 Fun.id)
+    (List.map fst seq0);
+  for s = 1 to 3 do
+    Alcotest.(check (list (pair int string))) "identical order" seq0
+      (lamport_per_site log s)
+  done;
+  (* frame members contiguous, in sender order *)
+  let payloads = List.map snd seq0 in
+  let positions frame =
+    List.map
+      (fun p ->
+        let rec find k = function
+          | [] -> Alcotest.failf "missing %s" p
+          | q :: _ when q = p -> k
+          | _ :: rest -> find (k + 1) rest
+        in
+        find 0 payloads)
+      frame
+  in
+  List.iter
+    (fun frame ->
+      match positions frame with
+      | first :: rest ->
+        ignore
+          (List.fold_left
+             (fun prev pos ->
+               check_int "frame contiguous in sender order" (prev + 1) pos;
+               pos)
+             first rest)
+      | [] -> ())
+    [ [ "0a"; "0b"; "0c" ]; [ "2a"; "2b" ]; [ "1a"; "1b"; "1c"; "1d" ] ]
+
 (* ------------------------------------------------------------------ *)
 (* Partitions at the endpoint level *)
 
@@ -727,6 +942,133 @@ let test_reply_never_overtakes_cause () =
         seq)
     log
 
+(* ------------------------------------------------------------------ *)
+(* Sender-side batching: frames on the wire, unchanged delivery contract *)
+
+let batch4 = { Ep.max_msgs = 4; max_delay = Sim.Time.of_ms 1 }
+
+let test_batched_total_order () =
+  let engine, group, log = setup ~n:5 ~batch:batch4 () in
+  let eps = Ep.endpoints group in
+  for s = 0 to 4 do
+    for i = 0 to 4 do
+      ignore (Ep.broadcast eps.(s) `Total (Printf.sprintf "%d-%d" s i))
+    done
+  done;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 1.0);
+  let seq0 = List.map (fun r -> r.r_payload) (per_site log 0) in
+  check_int "all delivered" 25 (List.length seq0);
+  for s = 1 to 4 do
+    Alcotest.(check (list string)) "same total order everywhere" seq0
+      (List.map (fun r -> r.r_payload) (per_site log s))
+  done;
+  let seqs = List.filter_map (fun r -> r.r_seq) (per_site log 2) in
+  Alcotest.(check (list int)) "contiguous" (List.init 25 Fun.id) seqs
+
+let test_batched_causal_order () =
+  let engine, group, log = setup ~batch:batch4 () in
+  let eps = Ep.endpoints group in
+  Ep.set_deliver eps.(1) (fun d ->
+      log := { r_site = 1; r_payload = d.Ep.payload; r_seq = None; r_vc = d.Ep.vc } :: !log;
+      if d.Ep.payload = "a" then ignore (Ep.broadcast eps.(1) `Causal "b"));
+  ignore (Ep.broadcast eps.(0) `Causal "a");
+  Sim.Engine.run_until engine (Sim.Time.of_ms 100);
+  for s = 0 to 3 do
+    match List.map (fun r -> r.r_payload) (per_site log s) with
+    | [ "a"; "b" ] -> ()
+    | other -> Alcotest.failf "site %d saw %s" s (String.concat "," other)
+  done
+
+let test_batching_saves_datagrams () =
+  (* The same burst, framed vs unframed: identical per-origin delivery
+     sequences at every site (cross-origin interleaving is a timing
+     artifact either way), strictly fewer wire datagrams. *)
+  let run batch =
+    let engine, group, log = setup ?batch () in
+    let eps = Ep.endpoints group in
+    for i = 0 to 15 do
+      ignore (Ep.broadcast eps.(0) `Reliable (Printf.sprintf "r%d" i));
+      ignore (Ep.broadcast eps.(1) `Causal (Printf.sprintf "c%d" i))
+    done;
+    Sim.Engine.run_until engine (Sim.Time.of_sec 1.0);
+    let stream s prefix =
+      List.filter
+        (fun p -> String.length p > 0 && p.[0] = prefix)
+        (List.map (fun r -> r.r_payload) (per_site log s))
+    in
+    let deliveries =
+      List.concat_map (fun s -> [ stream s 'r'; stream s 'c' ]) [ 0; 1; 2; 3 ]
+    in
+    (deliveries, Net.Net_stats.datagrams (Ep.stats group))
+  in
+  let plain_deliv, plain_dgrams = run None in
+  let batched_deliv, batched_dgrams =
+    run (Some { Ep.max_msgs = 8; max_delay = Sim.Time.of_ms 1 })
+  in
+  Alcotest.(check (list (list string))) "same per-origin deliveries"
+    plain_deliv batched_deliv;
+  check_bool
+    (Printf.sprintf "fewer datagrams (%d batched < %d plain)" batched_dgrams
+       plain_dgrams)
+    true
+    (batched_dgrams < plain_dgrams)
+
+let test_batched_open_frame_dies_with_sender () =
+  (* A message parked in an open frame has not reached the wire: if the
+     sender crashes before the flush timer fires, the message is gone —
+     unlike [test_delivery_survives_sender_crash], where the datagram left
+     at send time. After recovery the frame must not resurrect (recovery
+     clears the open frame), and the group keeps working. *)
+  let engine, group, log =
+    setup ~batch:{ Ep.max_msgs = 64; max_delay = Sim.Time.of_ms 50 } ()
+  in
+  let eps = Ep.endpoints group in
+  Sim.Engine.run_until engine (Sim.Time.of_ms 10);
+  ignore (Ep.broadcast eps.(0) `Reliable "parked");
+  Ep.crash group 0;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 2.0);
+  for s = 0 to 3 do
+    Alcotest.(check (list string))
+      (Printf.sprintf "site %d: the parked message never left site 0" s)
+      []
+      (List.map (fun r -> r.r_payload) (per_site log s))
+  done;
+  Ep.recover group 0;
+  Sim.Engine.run_until engine (Sim.Time.of_sec 6.0);
+  check_bool "rejoined" true (Ep.is_ready eps.(0));
+  ignore (Ep.broadcast eps.(1) `Causal "alive");
+  Sim.Engine.run_until engine (Sim.Time.of_sec 6.5);
+  for s = 0 to 3 do
+    check_bool
+      (Printf.sprintf "site %d delivers post-recovery traffic" s)
+      true
+      (List.mem "alive" (List.map (fun r -> r.r_payload) (per_site log s)))
+  done
+
+let test_batch_policy_validated () =
+  let engine = Sim.Engine.create ~seed:1 () in
+  Alcotest.check_raises "max_msgs >= 1 enforced"
+    (Invalid_argument "Endpoint.create_group: batch.max_msgs < 1")
+    (fun () ->
+      ignore
+        (Ep.create_group engine ~n:3 ~latency:Net.Latency.lan
+           ~batch:{ Ep.max_msgs = 0; max_delay = Sim.Time.of_ms 1 }
+           ()))
+
+let test_batched_determinism () =
+  let transcript seed =
+    let engine, group, log = setup ~seed ~batch:batch4 () in
+    let eps = Ep.endpoints group in
+    for s = 0 to 3 do
+      for i = 0 to 3 do
+        ignore (Ep.broadcast eps.(s) `Total (Printf.sprintf "%d-%d" s i))
+      done
+    done;
+    Sim.Engine.run_until engine (Sim.Time.of_sec 1.0);
+    List.rev_map (fun r -> (r.r_site, r.r_payload)) !log
+  in
+  check_bool "same seed same run" true (transcript 5 = transcript 5)
+
 (* Determinism: identical seeds give identical delivery transcripts. *)
 let test_determinism () =
   let transcript seed =
@@ -768,6 +1110,7 @@ let () =
           tc "purge" `Quick test_delay_purge;
           tc "dimension check" `Quick test_delay_dimension_check;
           QCheck_alcotest.to_alcotest prop_delay_causal;
+          QCheck_alcotest.to_alcotest prop_delay_matches_reference;
         ] );
       ( "order_state",
         [
@@ -792,6 +1135,16 @@ let () =
             test_reply_never_overtakes_cause;
           tc "flood exactly once" `Quick test_flood_still_exactly_once;
         ] );
+      ( "batching",
+        [
+          tc "batched total order agreement" `Quick test_batched_total_order;
+          tc "batched causal order" `Quick test_batched_causal_order;
+          tc "frames save datagrams" `Quick test_batching_saves_datagrams;
+          tc "open frame dies with its sender" `Quick
+            test_batched_open_frame_dies_with_sender;
+          tc "batch policy validated" `Quick test_batch_policy_validated;
+          tc "batched determinism" `Quick test_batched_determinism;
+        ] );
       ( "failures",
         [
           tc "sequencer failover" `Quick test_sequencer_failover;
@@ -808,5 +1161,8 @@ let () =
           tc "total order agreement" `Quick test_lamport_total_order;
           tc "sender self-delivery" `Quick test_lamport_sender_delivers_own;
           tc "cost: 3n datagrams" `Quick test_lamport_costs_more_than_sequencer;
+          tc "frame shares one stamp (equal-stamp livelock regression)" `Quick
+            test_lamport_frame_equal_stamps;
+          tc "interleaved frames agree" `Quick test_lamport_interleaved_frames;
         ] );
     ]

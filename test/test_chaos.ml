@@ -204,6 +204,68 @@ let test_repro_round_trip () =
         Chaos.default_cfg.Chaos.protocols)
     [ 0; 7; 42 ]
 
+(* ------------------------------------------------------------------ *)
+(* Batched cases *)
+
+let batched_cfg =
+  {
+    Chaos.default_cfg with
+    Chaos.batch =
+      Some { Broadcast.Endpoint.max_msgs = 8; max_delay = Sim.Time.of_ms 1 };
+    audit = true;
+  }
+
+let test_batched_repro_round_trip () =
+  (* Batched repro lines carry the batch policy and replay to the exact
+     same case; lines without the field keep parsing as unbatched so
+     pre-batching repros stay valid. *)
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun proto ->
+          let case = Chaos.case_of_seed batched_cfg proto ~seed in
+          check_bool "generated case is batched" true (case.Chaos.batch <> None);
+          let line = Chaos.repro case in
+          let has_batch =
+            let n = String.length line in
+            let needle = "batch=8/" in
+            let k = String.length needle in
+            let rec go i =
+              i + k <= n && (String.sub line i k = needle || go (i + 1))
+            in
+            go 0
+          in
+          check_bool "repro line names the batch policy" true has_batch;
+          match Chaos.case_of_repro line with
+          | Ok case' ->
+            check_bool
+              (Printf.sprintf "batched repro round-trip (seed %d)" seed)
+              true
+              (Chaos.repro case' = line && case' = case)
+          | Error e -> Alcotest.failf "%s: %s" line e)
+        Chaos.default_cfg.Chaos.protocols)
+    [ 0; 7; 42 ];
+  (* Back-compat: a line with no batch field is an unbatched case. *)
+  let plain = Chaos.case_of_seed Chaos.default_cfg Repdb.Protocol.Atomic ~seed:3 in
+  let line = Chaos.repro plain in
+  (match Chaos.case_of_repro line with
+  | Ok case' -> check_bool "no batch field parses as None" true
+      (case'.Chaos.batch = None && case' = plain)
+  | Error e -> Alcotest.failf "%s: %s" line e)
+
+let test_batched_audited_sweep () =
+  (* A small batched sweep with the broadcast-contract monitors on: frames
+     must not break safety or the audited delivery contracts under faults. *)
+  List.iter
+    (fun seed ->
+      match Chaos.run_seed batched_cfg ~seed with
+      | [] -> ()
+      | f :: _ ->
+        Alcotest.failf "batched case fails: %s: %s"
+          (Chaos.repro f.Chaos.case)
+          (Chaos.verdict_summary f.Chaos.report))
+    [ 0; 1 ]
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "chaos"
@@ -221,5 +283,8 @@ let () =
           tc "planted bug caught and shrunk" `Slow
             test_planted_bug_caught_and_shrunk;
           tc "repro lines round-trip" `Quick test_repro_round_trip;
+          tc "batched repro lines round-trip" `Quick
+            test_batched_repro_round_trip;
+          tc "batched audited sweep passes" `Slow test_batched_audited_sweep;
         ] );
     ]
