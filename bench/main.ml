@@ -1,5 +1,5 @@
 (* Benchmark harness: regenerates every table/figure of the evaluation
-   (E1-E15, see DESIGN.md and EXPERIMENTS.md), then runs Bechamel
+   (E1-E16, see DESIGN.md and EXPERIMENTS.md), then runs Bechamel
    micro-benchmarks of the hot path behind each experiment.
 
    Simulation runs execute on the Parallel domain pool (sized by
@@ -22,8 +22,34 @@ let gate_obs = Array.exists (( = ) "--gate-obs") Sys.argv
 
 (* E15's raw grid feeds a JSON series as well as its table, so the driver
    computes the rows once and renders from them rather than running the
-   saturation sweep twice. *)
+   saturation sweep twice. E16 follows the same pattern, and additionally
+   dumps each knee row's full telemetry time series to a JSONL file. *)
 let e15_rows : Exper.Experiments.e15_row list ref = ref []
+let e16_rows : Exper.Experiments.e16_row list ref = ref []
+
+let write_e16_series rows =
+  let knees = Exper.Experiments.e16_knees rows in
+  List.iter
+    (fun (k : Exper.Experiments.e16_knee) ->
+      match
+        List.find_opt
+          (fun (r : Exper.Experiments.e16_row) ->
+            r.Exper.Experiments.e16_protocol = k.Exper.Experiments.e16k_protocol
+            && r.Exper.Experiments.e16_batch = k.Exper.Experiments.e16k_batch)
+          rows
+      with
+      | None -> ()
+      | Some r ->
+        let file =
+          Printf.sprintf "E16_series_%s.jsonl"
+            r.Exper.Experiments.e16_protocol
+        in
+        let oc = open_out file in
+        output_string oc r.Exper.Experiments.e16_series;
+        close_out oc;
+        Printf.printf "wrote %s (telemetry at the knee, batch=%d)\n" file
+          r.Exper.Experiments.e16_batch)
+    knees
 
 let print_tables () =
   List.map
@@ -34,6 +60,11 @@ let print_tables () =
           let rows = Exper.Experiments.e15_data ~quick () in
           e15_rows := rows;
           Exper.Experiments.e15_table_of rows
+        end
+        else if id = "E16" then begin
+          let rows = Exper.Experiments.e16_data ~quick () in
+          e16_rows := rows;
+          Exper.Experiments.e16_table_of rows
         end
         else experiment ~quick ()
       in
@@ -292,7 +323,43 @@ let write_bench_json ~experiments ~micro ~total_wall =
            r.Exper.Experiments.e15_order_per_commit
            r.Exper.Experiments.e15_contract_ok))
     !e15_rows;
-  Buffer.add_string buf (if !e15_rows = [] then "]\n" else "\n  ]\n");
+  Buffer.add_string buf (if !e15_rows = [] then "],\n" else "\n  ],\n");
+  Buffer.add_string buf "  \"e16_saturation\": [";
+  List.iteri
+    (fun i (r : Exper.Experiments.e16_row) ->
+      if i > 0 then Buffer.add_string buf ",";
+      let means =
+        String.concat ", "
+          (List.map
+             (fun (key, v) ->
+               Printf.sprintf "\"%s\": %.3f" (json_escape key) v)
+             r.Exper.Experiments.e16_means)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"protocol\": \"%s\", \"batch\": %d, \"committed\": %d, \
+            \"tps\": %.1f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \
+            \"window_means\": { %s } }"
+           (json_escape r.Exper.Experiments.e16_protocol)
+           r.Exper.Experiments.e16_batch r.Exper.Experiments.e16_committed
+           r.Exper.Experiments.e16_tps r.Exper.Experiments.e16_p50_ms
+           r.Exper.Experiments.e16_p95_ms means))
+    !e16_rows;
+  Buffer.add_string buf (if !e16_rows = [] then "],\n" else "\n  ],\n");
+  Buffer.add_string buf "  \"e16_knees\": [";
+  List.iteri
+    (fun i (k : Exper.Experiments.e16_knee) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"protocol\": \"%s\", \"batch\": %d, \"resource\": \
+            \"%s\", \"ratio\": %.3f }"
+           (json_escape k.Exper.Experiments.e16k_protocol)
+           k.Exper.Experiments.e16k_batch
+           (json_escape k.Exper.Experiments.e16k_resource)
+           k.Exper.Experiments.e16k_ratio))
+    (Exper.Experiments.e16_knees !e16_rows);
+  Buffer.add_string buf (if !e16_rows = [] then "]\n" else "\n  ]\n");
   Buffer.add_string buf "}\n";
   let oc = open_out file in
   output_string oc (Buffer.contents buf);
@@ -312,6 +379,11 @@ let run_gate_obs () =
   let c = Obs.Registry.counter (Obs.Recorder.registry obs) ~name:"gate" () in
   let h = Obs.Registry.hist (Obs.Recorder.registry obs) ~name:"gate" () in
   let audit = Audit.Log.none in
+  let sampler = Obs.Sampler.none in
+  (* Pre-built so the loop measures the disabled calls themselves, not the
+     construction of their arguments. *)
+  let probe_labels = [ ("site", "0") ] in
+  let probe = fun () -> 0.0 in
   let iters = 5_000_000 in
   for i = 1 to 100_000 do
     (* warm-up *)
@@ -326,13 +398,16 @@ let run_gate_obs () =
     Audit.Log.send audit ~at:(Sim.Time.of_us i) ~origin:0 ~cls:Audit.Event.C
       ~seq:i ~txn:None ~vc:None;
     Audit.Log.deliver audit ~at:(Sim.Time.of_us i) ~site:0 ~origin:0
-      ~cls:Audit.Event.C ~seq:i ~vc:None ~global_seq:None ~flush:false
+      ~cls:Audit.Event.C ~seq:i ~vc:None ~global_seq:None ~flush:false;
+    Obs.Sampler.register sampler ~name:"gate" ~labels:probe_labels probe;
+    Obs.Sampler.tick sampler ~at:(Sim.Time.of_us i)
   done;
   let wall = Unix.gettimeofday () -. t0 in
-  let calls = 5 * iters in
+  let calls = 7 * iters in
   let ns = wall *. 1e9 /. float_of_int calls in
   let bound = 50.0 in
-  Printf.printf "obs+audit disabled-mode overhead: %.2f ns/call (%d calls)\n" ns
+  Printf.printf
+    "obs+audit+sampler disabled-mode overhead: %.2f ns/call (%d calls)\n" ns
     calls;
   if ns > bound then begin
     Printf.printf "GATE FAIL: over the %.0f ns/call bound\n" bound;
@@ -353,6 +428,7 @@ let () =
     (Parallel.jobs ());
   let t0 = Unix.gettimeofday () in
   let experiments = if micro_only then [] else print_tables () in
+  if !e16_rows <> [] then write_e16_series !e16_rows;
   let micro = if tables_only then [] else run_micro () in
   let total_wall = Unix.gettimeofday () -. t0 in
   if not micro_only then begin

@@ -1,7 +1,7 @@
 (* Command-line driver.
 
    repdb_sim run <protocol> [options]   — one simulation, full report
-   repdb_sim exper [E1..E15] [--quick]  — regenerate evaluation tables
+   repdb_sim exper [E1..E16] [--quick]  — regenerate evaluation tables
    repdb_sim fuzz [--seeds N] [options] — seeded chaos: random fault
                                           schedules, 1SR + convergence
                                           checking, failing-seed shrinking
@@ -53,7 +53,8 @@ let print_drops (r : Exper.Runner.result) =
        ^ ")")
 
 (* Metrics snapshot: the run's registry plus the network drop counters
-   (kept by Net_stats, surfaced here so the JSON is self-contained). *)
+   (kept by Net_stats, surfaced here so the JSON is self-contained) and, on
+   sampled runs, every telemetry probe's end-of-run value as a gauge. *)
 let export_metrics (r : Exper.Runner.result) path =
   let registry = Obs.Recorder.registry r.Exper.Runner.recorder in
   List.iter
@@ -63,8 +64,33 @@ let export_metrics (r : Exper.Runner.result) path =
            ~labels:[ ("category", category) ] ())
         count)
     r.Exper.Runner.drops_by_category;
+  List.iter
+    (fun ((name, labels), v) ->
+      Obs.Registry.set_gauge registry ~name:("probe_" ^ name) ~labels v)
+    (Obs.Sampler.final_values r.Exper.Runner.sampler);
   write_text_file path (Obs.Export.metrics_json registry);
   Printf.printf "metrics        : -> %s\n" path
+
+(* Telemetry time series recorded by a sampled run (--sample-every /
+   --series): JSONL by default, CSV when the path ends in .csv. *)
+let export_series sampler path =
+  Obs.Sampler.write_file sampler ~path;
+  Printf.printf "series         : %d probes x %d samples -> %s\n"
+    (List.length (Obs.Sampler.probes sampler))
+    (List.length (Obs.Sampler.samples sampler))
+    path
+
+(* --sample-every/--series resolution, shared by run and fuzz --replay:
+   an explicit cadence wins; otherwise asking for a series file (or a
+   metrics snapshot, which reports probe gauges) samples at 1ms. *)
+let resolve_sample_every ~sample_every_us ~series ~metrics =
+  match sample_every_us with
+  | Some us when us > 0 -> Some (Sim.Time.of_us us)
+  | Some _ ->
+    Printf.eprintf "--sample-every must be positive (microseconds)\n";
+    exit 2
+  | None ->
+    if series <> None || metrics <> None then Some (Sim.Time.of_ms 1) else None
 
 let trace_file =
   Arg.(
@@ -75,6 +101,26 @@ let trace_file =
           "export the transaction lifecycle trace: .jsonl gets JSON Lines, \
            anything else Chrome trace-event JSON (open in Perfetto). \
            Implies span collection.")
+
+let sample_every_us =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sample-every" ] ~docv:"USEC"
+        ~doc:
+          "sample every registered telemetry probe (queue depths, backlogs, \
+           lock counts, allocation rate) each $(docv) microseconds of \
+           simulated time; export with $(b,--series)")
+
+let series_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "series" ] ~docv:"FILE"
+        ~doc:
+          "write the sampled telemetry time series: .csv gets CSV, anything \
+           else JSON Lines (schema in docs/OBSERVABILITY.md). Implies \
+           sampling at 1ms unless $(b,--sample-every) says otherwise.")
 
 (* ------------------------------------------------------------------ *)
 (* Shared --batch-* flags: frames of up to batch_msgs payloads, flushed
@@ -115,7 +161,7 @@ let batch_delay_us =
 
 let run_cmd protocol n_sites txns mpl seed ro_fraction theta n_keys reads writes
     ack_delay_ms no_ack early batch flood loss_rate batch_msgs batch_delay_us
-    verbose trace audit audit_report metrics =
+    verbose trace audit audit_report metrics sample_every_us series =
   match Repdb.Protocol.of_name protocol with
   | None ->
     Printf.eprintf "unknown protocol %S (try: baseline reliable causal atomic)\n"
@@ -151,6 +197,7 @@ let run_cmd protocol n_sites txns mpl seed ro_fraction theta n_keys reads writes
       Exper.Runner.spec ~config ~profile ~txns_per_site:txns ~mpl ~seed ~n_sites
         ~collect_spans:(trace <> None || metrics <> None)
         ~collect_audit:(audit || audit_report <> None)
+        ?sample_every:(resolve_sample_every ~sample_every_us ~series ~metrics)
         proto
     in
     let r = Exper.Runner.run spec in
@@ -179,6 +226,7 @@ let run_cmd protocol n_sites txns mpl seed ro_fraction theta n_keys reads writes
     Printf.printf "deadlocks      : %d\n" r.Exper.Runner.deadlocks;
     Option.iter (export_trace r) trace;
     Option.iter (export_metrics r) metrics;
+    Option.iter (export_series r.Exper.Runner.sampler) series;
     let audit_ok =
       if not (Audit.Log.enabled r.Exper.Runner.audit) then true
       else begin
@@ -271,7 +319,8 @@ let run_term =
     const run_cmd $ protocol $ n_sites $ txns $ mpl $ seed $ ro_fraction
     $ theta $ n_keys $ reads $ writes $ ack_delay_ms $ no_ack $ early $ batch
     $ flood $ loss_rate $ batch_msgs $ batch_delay_us $ verbose $ trace_file
-    $ audit_flag $ audit_report_file $ metrics_file)
+    $ audit_flag $ audit_report_file $ metrics_file $ sample_every_us
+    $ series_file)
 
 (* ------------------------------------------------------------------ *)
 (* exper *)
@@ -292,7 +341,7 @@ let exper_cmd which quick markdown jobs =
           match List.assoc_opt id experiments with
           | Some fn -> Some (id, fn)
           | None ->
-            Printf.eprintf "unknown experiment %s (E1..E15)\n" id;
+            Printf.eprintf "unknown experiment %s (E1..E16)\n" id;
             exit 2)
         ids
   in
@@ -305,7 +354,7 @@ let exper_cmd which quick markdown jobs =
     selected
 
 let which =
-  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"E1..E15 (default: all)")
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"E1..E16 (default: all)")
 
 let quick = Arg.(value & flag & info [ "quick" ] ~doc:"smaller workloads")
 
@@ -326,7 +375,7 @@ let exper_term = Term.(const exper_cmd $ which $ quick $ markdown $ exper_jobs)
 (* fuzz *)
 
 let fuzz_cmd n_seeds seed_start jobs txns episodes protocol_names planted_bug
-    audit batch_msgs batch_delay_us replay trace =
+    audit batch_msgs batch_delay_us replay trace sample_every_us series =
   (match jobs with Some n -> Parallel.set_jobs (Some n) | None -> ());
   let protocols =
     match protocol_names with
@@ -363,6 +412,8 @@ let fuzz_cmd n_seeds seed_start jobs txns episodes protocol_names planted_bug
         {
           (Chaos.spec_of_case cfg case) with
           Exper.Runner.collect_spans = trace <> None;
+          sample_every =
+            resolve_sample_every ~sample_every_us ~series ~metrics:None;
         }
       in
       let result = Exper.Runner.run spec in
@@ -379,6 +430,7 @@ let fuzz_cmd n_seeds seed_start jobs txns episodes protocol_names planted_bug
         end
       in
       Option.iter (export_trace result) trace;
+      Option.iter (export_series result.Exper.Runner.sampler) series;
       (* On divergence, show how the write order of each disputed key
          differed between the two sites — the raw material for diagnosis. *)
       let history = result.Exper.Runner.history in
@@ -406,6 +458,10 @@ let fuzz_cmd n_seeds seed_start jobs txns episodes protocol_names planted_bug
         report.Verify.Check.divergences;
       if not (Verify.Check.ok report && audit_ok) then exit 1)
   | None ->
+    if sample_every_us <> None || series <> None then
+      Printf.eprintf
+        "note: --sample-every/--series apply to --replay only (a sweep runs \
+         many cases; replay the one you want to profile)\n";
     let seeds = List.init n_seeds (fun i -> seed_start + i) in
     let outcome = Chaos.fuzz cfg ~seeds in
     print_endline (Chaos.render outcome);
@@ -480,7 +536,8 @@ let fuzz_term =
   Term.(
     const fuzz_cmd $ fuzz_seeds $ fuzz_seed_start $ fuzz_jobs $ fuzz_txns
     $ fuzz_episodes $ fuzz_protocols $ fuzz_planted $ fuzz_audit $ batch_msgs
-    $ batch_delay_us $ fuzz_replay $ trace_file)
+    $ batch_delay_us $ fuzz_replay $ trace_file $ sample_every_us
+    $ series_file)
 
 (* ------------------------------------------------------------------ *)
 (* audit (offline replay of a recorded stream) *)

@@ -189,6 +189,9 @@ let is_up t = t.alive
 let is_ready t = t.alive && t.initialized
 let delivered_vc t = Delay_queue.delivered_vc t.delay
 let pending_causal t = Delay_queue.pending_count t.delay
+let open_frame_len t = List.length t.pending_out
+let order_backlog t = Order_state.pending_count t.orders
+let unassigned_arrivals t = List.length (Order_state.unordered_arrivals t.orders)
 
 let set_deliver t cb = t.deliver_cb <- Some cb
 let set_on_view t cb = t.view_cb <- Some cb
@@ -995,8 +998,9 @@ let recover group s =
 let create_group (type a) engine ~n ~latency ?(classify = fun (_ : a) -> "app")
     ?(hb_interval = Sim.Time.of_ms 50) ?(suspect_after = Sim.Time.of_ms 200)
     ?(flood = false) ?batch ?tx_time ?loss ?(obs = Obs.Registry.disabled)
-    ?(audit = Audit.Log.none) ?(bug_causal_inversion = false)
-    ?(bug_total_divergence = false) () : a group =
+    ?(sampler = Obs.Sampler.none) ?(audit = Audit.Log.none)
+    ?(bug_causal_inversion = false) ?(bug_total_divergence = false) () :
+    a group =
   (match batch with
   | Some { max_msgs; _ } when max_msgs < 1 ->
     invalid_arg "Endpoint.create_group: batch.max_msgs < 1"
@@ -1082,4 +1086,30 @@ let create_group (type a) engine ~n ~latency ?(classify = fun (_ : a) -> "app")
       Net.Network.set_handler net t.me (fun ~src wire -> handle t ~src wire);
       schedule_timers t)
     group.g_eps;
+  (* Time-series probes over the broadcast layer and its network. Guarded
+     so a disabled sampler costs the group's construction nothing (micro
+     benchmarks create groups per iteration). Probes read through the
+     endpoint array, so they track state across recoveries. *)
+  if Obs.Sampler.enabled sampler then begin
+    Array.iter
+      (fun t ->
+        let labels = [ ("site", string_of_int t.me) ] in
+        let reg name read =
+          Obs.Sampler.register sampler ~name ~labels (fun () ->
+              float_of_int (read t))
+        in
+        reg "bcast_delay_depth" pending_causal;
+        reg "bcast_open_frame" open_frame_len;
+        reg "bcast_order_backlog" order_backlog;
+        reg "bcast_unassigned" unassigned_arrivals)
+      group.g_eps;
+    Obs.Sampler.register sampler ~name:"net_in_flight" (fun () ->
+        float_of_int (Net.Network.in_flight net));
+    Obs.Sampler.register sampler ~name:"net_busy_links" (fun () ->
+        float_of_int (Net.Network.busy_links net));
+    Obs.Sampler.register sampler ~name:"net_tx_backlog_us" (fun () ->
+        float_of_int (Net.Network.tx_backlog_us net));
+    Obs.Sampler.register sampler ~name:"net_drops" ~kind:Obs.Sampler.Delta
+      (fun () -> float_of_int (Net.Net_stats.drops (Net.Network.stats net)))
+  end;
   group

@@ -61,6 +61,7 @@ val create_group :
   ?tx_time:Sim.Time.t ->
   ?loss:Net.Network.loss ->
   ?obs:Obs.Registry.t ->
+  ?sampler:Obs.Sampler.t ->
   ?audit:Audit.Log.t ->
   ?bug_causal_inversion:bool ->
   ?bug_total_divergence:bool ->
@@ -79,7 +80,11 @@ val create_group :
     {!Net.Network.create} — the bandwidth resource batching amortizes.
     [obs] (default disabled) receives per-site
     [bcast_reliable]/[bcast_causal]/[bcast_total], [app_deliver] and
-    [view_change] counters. [audit] (default disabled) receives the full
+    [view_change] counters. [sampler] (default disabled) gets per-site
+    pull-probes — [bcast_delay_depth], [bcast_open_frame],
+    [bcast_order_backlog], [bcast_unassigned] — plus the network-level
+    [net_in_flight] / [net_busy_links] / [net_tx_backlog_us] gauges and
+    the [net_drops] delta; see {!Obs.Sampler}. [audit] (default disabled) receives the full
     message-lineage event stream — sends, per-site deliveries, order
     assignments, join re-basing and fault marks — checked online by
     {!Audit.Log}'s contract monitors. The [bug_*] flags plant deliberate
@@ -154,3 +159,16 @@ val delivered_vc : 'a t -> Lclock.Vector_clock.t
 val pending_causal : 'a t -> int
 (** Buffered (not yet deliverable) causal/total messages — exposed for
     tests and liveness assertions. *)
+
+val open_frame_len : 'a t -> int
+(** Broadcasts sitting in this site's open (unflushed) outgoing frame —
+    0 when batching is off. Telemetry probe. *)
+
+val order_backlog : 'a t -> int
+(** Total-class messages that arrived here but have not been delivered in
+    global order yet. Telemetry probe. *)
+
+val unassigned_arrivals : 'a t -> int
+(** Arrived total-class messages with no sequencer assignment known at
+    this site — at the coordinator, the sequencer's order backlog.
+    Telemetry probe. *)

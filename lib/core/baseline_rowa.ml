@@ -258,7 +258,8 @@ let create engine config ~history =
   let make_site site =
     {
       core =
-        Site_core.create ~obs:config.Config.obs engine ~site
+        Site_core.create ~obs:config.Config.obs
+          ~sampler:config.Config.sampler engine ~site
           ~policy:Db.Lock_manager.Wait ~history;
       orig = Txn_id.Tbl.create 32;
       part = Txn_id.Tbl.create 32;
@@ -279,6 +280,26 @@ let create engine config ~history =
     (fun site _ ->
       Net.Network.set_handler net site (fun ~src msg -> handle t ~site ~src msg))
     t.sites;
+  (if Obs.Sampler.enabled config.Config.sampler then begin
+     (* no broadcast layer here, so the baseline registers the network-level
+        probes itself (the endpoint group does it for the other protocols) *)
+     let sampler = config.Config.sampler in
+     Obs.Sampler.register sampler ~name:"net_in_flight" (fun () ->
+         float_of_int (Net.Network.in_flight net));
+     Obs.Sampler.register sampler ~name:"net_busy_links" (fun () ->
+         float_of_int (Net.Network.busy_links net));
+     Obs.Sampler.register sampler ~name:"net_tx_backlog_us" (fun () ->
+         float_of_int (Net.Network.tx_backlog_us net));
+     Obs.Sampler.register sampler ~name:"net_drops" ~kind:Obs.Sampler.Delta
+       (fun () -> float_of_int (Net.Net_stats.drops (Net.Network.stats net)));
+     Array.iter
+       (fun st ->
+         let site = Site_core.site st.core in
+         Obs.Sampler.register sampler ~name:"proto_outstanding"
+           ~labels:[ ("site", string_of_int site) ] (fun () ->
+             float_of_int (Txn_id.Tbl.length st.orig)))
+       t.sites
+   end);
   deadlock_detector t;
   t
 

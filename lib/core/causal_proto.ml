@@ -463,7 +463,7 @@ let create engine config ~history =
       ?batch:config.Config.batch ~tx_time:config.Config.tx_time
       ?loss:config.Config.loss
       ~obs:(Obs.Recorder.registry config.Config.obs)
-      ~audit:config.Config.audit
+      ~sampler:config.Config.sampler ~audit:config.Config.audit
       ~bug_causal_inversion:config.Config.bug_causal_inversion
       ~bug_total_divergence:config.Config.bug_total_divergence
       ()
@@ -471,7 +471,8 @@ let create engine config ~history =
   let make_site site =
     {
       core =
-        Site_core.create ~obs:config.Config.obs engine ~site
+        Site_core.create ~obs:config.Config.obs
+          ~sampler:config.Config.sampler engine ~site
           ~policy:Db.Lock_manager.No_wait ~history;
       ep = (Endpoint.endpoints group).(site);
       part = Txn_id.Tbl.create 64;
@@ -499,6 +500,14 @@ let create engine config ~history =
         ~get:(fun () -> export_snapshot st)
         ~install:(fun payload -> install_snapshot t st payload))
     t.sites;
+  if Obs.Sampler.enabled config.Config.sampler then
+    Array.iter
+      (fun st ->
+        let site = Site_core.site st.core in
+        Obs.Sampler.register config.Config.sampler ~name:"proto_outstanding"
+          ~labels:[ ("site", string_of_int site) ] (fun () ->
+            float_of_int (Txn_id.Tbl.length st.orig)))
+      t.sites;
   t
 
 let debug_site t s =

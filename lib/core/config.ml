@@ -14,6 +14,7 @@ type t = {
   loss : Net.Network.loss option;
   obs : Obs.Recorder.t;
   audit : Audit.Log.t;
+  sampler : Obs.Sampler.t;
   bug_causal_inversion : bool;
   bug_total_divergence : bool;
 }
@@ -35,6 +36,7 @@ let default ~n_sites =
     loss = None;
     obs = Obs.Recorder.none;
     audit = Audit.Log.none;
+    sampler = Obs.Sampler.none;
     bug_causal_inversion = false;
     bug_total_divergence = false;
   }

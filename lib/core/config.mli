@@ -51,6 +51,12 @@ type t = {
           event, checked online against the primitive's contract (see
           {!Audit.Log}). Defaults to the disabled {!Audit.Log.none} — same
           one-branch discipline as [obs]. *)
+  sampler : Obs.Sampler.t;
+      (** time-series telemetry sampler: every layer registers pull-probes
+          (queue depths, backlogs, lock counts) at construction, snapshot
+          on a fixed simulated-time cadence (see {!Obs.Sampler}). Defaults
+          to the disabled {!Obs.Sampler.none} — registration is then one
+          branch and nothing is recorded. *)
   bug_causal_inversion : bool;
       (** {b Planted bug — never enable outside tests.} Site 1's broadcast
           endpoint delivers the first causal message its delay queue

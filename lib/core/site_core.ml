@@ -11,7 +11,8 @@ type t = {
   buffers : (Op.key * Op.value) list ref Txn_id.Tbl.t;  (* reversed arrival *)
 }
 
-let create ?(obs = Obs.Recorder.none) _engine ~site ~policy ~history =
+let create ?(obs = Obs.Recorder.none) ?(sampler = Obs.Sampler.none) _engine
+    ~site ~policy ~history =
   (* the engine parameter keeps construction uniform with the protocol
      layers; the site runtime itself is purely reactive *)
   let t =
@@ -37,6 +38,15 @@ let create ?(obs = Obs.Recorder.none) _engine ~site ~policy ~history =
       ~obs:(Obs.Recorder.registry obs)
       ~obs_labels:[ ("site", string_of_int site) ]
       ~policy ~on_grant ();
+  if Obs.Sampler.enabled sampler then begin
+    let labels = [ ("site", string_of_int site) ] in
+    (* read through [t] so the probes track the live lock manager even if a
+       recovery swaps it out *)
+    Obs.Sampler.register sampler ~name:"db_locks_held" ~labels (fun () ->
+        float_of_int (Db.Lock_manager.held_total t.locks));
+    Obs.Sampler.register sampler ~name:"db_lock_waiters" ~labels (fun () ->
+        float_of_int (Db.Lock_manager.waiting_total t.locks))
+  end;
   t
 
 let site t = t.site

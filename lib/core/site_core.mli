@@ -10,13 +10,16 @@ type t
 
 val create :
   ?obs:Obs.Recorder.t ->
+  ?sampler:Obs.Sampler.t ->
   Sim.Engine.t ->
   site:Net.Site_id.t ->
   policy:Db.Lock_manager.policy ->
   history:Verify.History.t ->
   t
 (** [obs] (default {!Obs.Recorder.none}) supplies the metrics registry the
-    lock manager reports to, labelled with this site. *)
+    lock manager reports to, labelled with this site. [sampler] (default
+    disabled) gets the per-site [db_locks_held] / [db_lock_waiters]
+    pull-probes. *)
 
 val site : t -> Net.Site_id.t
 val store : t -> Db.Version_store.t

@@ -204,6 +204,14 @@ let holders t k =
 let waiters t k =
   match Hashtbl.find_opt t.table k with Some e -> e.queue | None -> []
 
+(* Telemetry probes: a scan over the touched keys is fine on a sampling
+   tick (never called from the acquire/release path). *)
+let held_total t =
+  Hashtbl.fold (fun _ e acc -> acc + List.length e.holders) t.table 0
+
+let waiting_total t =
+  Hashtbl.fold (fun _ e acc -> acc + List.length e.queue) t.table 0
+
 let waits_for_edges t =
   Hashtbl.fold
     (fun _ e acc ->

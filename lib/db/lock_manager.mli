@@ -70,6 +70,14 @@ val holders : t -> key -> (Txn_id.t * mode) list
 val waiters : t -> key -> (Txn_id.t * mode) list
 (** In queue order. *)
 
+val held_total : t -> int
+(** Total locks currently held across all keys (one per holder entry) —
+    the time-series sampler's [db_locks_held] probe. *)
+
+val waiting_total : t -> int
+(** Total queued requests across all keys — the sampler's
+    [db_lock_waiters] probe. *)
+
 val waits_for_edges : t -> (Txn_id.t * Txn_id.t) list
 (** Edges [waiter -> blocker]: each queued transaction waits for every
     incompatible holder and every incompatible transaction queued ahead of

@@ -900,6 +900,202 @@ let e15_table_of rows =
 
 let e15_batching ?(quick = false) () = e15_table_of (e15_data ~quick ())
 
+(* ------------------------------------------------------------------ *)
+(* E16: saturation telemetry — where does the E15 curve bend, and why? *)
+
+type e16_row = {
+  e16_protocol : string;
+  e16_batch : int;
+  e16_committed : int;
+  e16_tps : float;
+  e16_p50_ms : float;
+  e16_p95_ms : float;
+  e16_means : (string * float) list;
+  e16_series : string;
+}
+
+type e16_knee = {
+  e16k_protocol : string;
+  e16k_batch : int;
+  e16k_resource : string;
+  e16k_ratio : float;
+}
+
+(* Resource key -> probe name. Per-site probes (bcast/db/proto) are summed
+   across sites before averaging over the window: the question is how much
+   of the resource the system holds, not where. *)
+let e16_resources =
+  [
+    ("evq", "sim_events_pending");
+    ("nic_us", "net_tx_backlog_us");
+    ("delay", "bcast_delay_depth");
+    ("order", "bcast_order_backlog");
+    ("waiters", "db_lock_waiters");
+    ("outst", "proto_outstanding");
+  ]
+
+(* Mean over the measurement window of the site-summed series [name]. *)
+let e16_windowed_mean sampler ~w_start ~w_end ~probe =
+  let cols =
+    Obs.Sampler.probes sampler
+    |> List.mapi (fun i (n, _) -> (i, n))
+    |> List.filter_map (fun (i, n) -> if n = probe then Some i else None)
+  in
+  let rows =
+    List.filter
+      (fun (at, _) ->
+        Sim.Time.compare w_start at <= 0 && Sim.Time.compare at w_end < 0)
+      (Obs.Sampler.samples sampler)
+  in
+  match (rows, cols) with
+  | [], _ | _, [] -> 0.0
+  | rows, cols ->
+    let total =
+      List.fold_left
+        (fun acc (_, values) ->
+          acc +. List.fold_left (fun a i -> a +. values.(i)) 0.0 cols)
+        0.0 rows
+    in
+    total /. float_of_int (List.length rows)
+
+let e16_data ?(quick = false) () =
+  let n = 5 in
+  let load =
+    {
+      Workload.target_inflight = 16;
+      warmup = Sim.Time.of_sec (if quick then 0.25 else 0.5);
+      measure = Sim.Time.of_sec (if quick then 0.5 else 1.0);
+    }
+  in
+  let sizes = if quick then [ 1; 16 ] else [ 1; 4; 16; 64 ] in
+  let cells =
+    List.concat_map
+      (fun proto -> List.map (fun size -> (proto, size)) sizes)
+      broadcast_protocols
+  in
+  let w_start = load.Workload.warmup in
+  let w_end = Sim.Time.add load.Workload.warmup load.Workload.measure in
+  Parallel.map cells ~f:(fun (proto, size) ->
+      (* The E15 saturation setup, re-run with a 10ms telemetry cadence so
+         the knee of the throughput curve can be attributed to the resource
+         whose backlog actually grew. Audit stays off: E16 measures queues,
+         E15 already certified the contract under this exact config/load. *)
+      let r =
+        R.run_saturation ~config:(e15_config ~n size) ~profile:costs_profile
+          ~load ~seed:16 ~sample_every:(Sim.Time.of_ms 10)
+          ~clients_on:(List.tl (Net.Site_id.all ~n)) ~n_sites:n proto
+      in
+      let sampler = r.R.sat_sampler in
+      {
+        e16_protocol = r.R.sat_protocol_name;
+        e16_batch = size;
+        e16_committed = r.R.sat_committed;
+        e16_tps = r.R.sat_throughput_tps;
+        e16_p50_ms = Stats.Summary.percentile r.R.sat_latency_ms 0.5;
+        e16_p95_ms = Stats.Summary.percentile r.R.sat_latency_ms 0.95;
+        e16_means =
+          List.map
+            (fun (key, probe) ->
+              (key, e16_windowed_mean sampler ~w_start ~w_end ~probe))
+            e16_resources;
+        e16_series = Obs.Sampler.to_jsonl sampler;
+      })
+
+let e16_knees rows =
+  let protos =
+    List.fold_left
+      (fun acc r ->
+        if List.mem r.e16_protocol acc then acc else acc @ [ r.e16_protocol ])
+      [] rows
+  in
+  List.map
+    (fun p ->
+      let prows = List.filter (fun r -> r.e16_protocol = p) rows in
+      match prows with
+      | [] -> invalid_arg "e16_knees: no rows for protocol"
+      | base :: rest ->
+        (* The knee: the first batch size whose throughput gain over the
+           previous one falls under 15% — batching has stopped paying —
+           or the largest size if the curve never flattens. *)
+        let rec find prev = function
+          | [] -> prev
+          | r :: tl -> if r.e16_tps < prev.e16_tps *. 1.15 then r else find r tl
+        in
+        let knee = find base rest in
+        (* Attribute the knee to the resource that grew the most relative
+           to the batch=1 run. The denominator floor of 1 keeps a resource
+           that is absent at base (mean 0) from dominating on noise. *)
+        let mean_of r key =
+          match List.assoc_opt key r.e16_means with Some v -> v | None -> 0.0
+        in
+        let resource, ratio =
+          List.fold_left
+            (fun (bk, bv) (key, _) ->
+              let v = mean_of knee key /. Float.max (mean_of base key) 1.0 in
+              if v > bv then (key, v) else (bk, bv))
+            ("none", neg_infinity) e16_resources
+        in
+        {
+          e16k_protocol = p;
+          e16k_batch = knee.e16_batch;
+          e16k_resource = resource;
+          e16k_ratio = ratio;
+        })
+    protos
+
+let e16_table_of rows =
+  let knees = e16_knees rows in
+  let table =
+    T.create
+      ~title:
+        "E16: saturation telemetry — windowed mean backlog per resource vs \
+         batch size (the E15 sweep re-run with 10ms probe sampling; evq = \
+         engine events pending, nic us = NIC serialization backlog, delay \
+         = causal delay-queue depth, order = total-order backlog, waiters \
+         = queued lock requests, outst = undecided transactions at their \
+         origin; 'knee' marks where batching stops paying >=15% and names \
+         the resource that grew most vs batch=1)"
+      ~columns:
+        [ "protocol"; "batch"; "committed"; "tps"; "p50 ms"; "p95 ms";
+          "evq"; "nic us"; "delay"; "order"; "waiters"; "outst"; "knee" ]
+  in
+  List.iter
+    (fun row ->
+      let mean key =
+        match List.assoc_opt key row.e16_means with Some v -> v | None -> 0.0
+      in
+      let knee_cell =
+        match
+          List.find_opt
+            (fun k ->
+              k.e16k_protocol = row.e16_protocol
+              && k.e16k_batch = row.e16_batch)
+            knees
+        with
+        | Some k -> Printf.sprintf "%s x%.1f" k.e16k_resource k.e16k_ratio
+        | None -> ""
+      in
+      T.add_row table
+        [
+          row.e16_protocol;
+          T.cell_int row.e16_batch;
+          T.cell_int row.e16_committed;
+          T.cell_float row.e16_tps;
+          T.cell_float row.e16_p50_ms;
+          T.cell_float row.e16_p95_ms;
+          Printf.sprintf "%.1f" (mean "evq");
+          Printf.sprintf "%.1f" (mean "nic_us");
+          Printf.sprintf "%.1f" (mean "delay");
+          Printf.sprintf "%.1f" (mean "order");
+          Printf.sprintf "%.1f" (mean "waiters");
+          Printf.sprintf "%.1f" (mean "outst");
+          knee_cell;
+        ])
+    rows;
+  table
+
+let e16_telemetry ?(quick = false) () = e16_table_of (e16_data ~quick ())
+
 let registry : (string * (?quick:bool -> unit -> Stats.Table.t)) list =
   [
     ("E1", e1_messages);
@@ -917,6 +1113,7 @@ let registry : (string * (?quick:bool -> unit -> Stats.Table.t)) list =
     ("E13", e13_phase_breakdown);
     ("E14", e14_audit_complexity);
     ("E15", e15_batching);
+    ("E16", e16_telemetry);
   ]
 
 let all ?(quick = false) () =

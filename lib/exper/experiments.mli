@@ -1,6 +1,6 @@
 (** The paper's evaluation, reproduced as tables.
 
-    One function per experiment in DESIGN.md's index (E1–E15); each returns
+    One function per experiment in DESIGN.md's index (E1–E16); each returns
     the rendered table(s) that `bench/main.exe` prints and EXPERIMENTS.md
     records. [quick] shrinks the workloads for use inside the test suite;
     the default sizes are what the committed EXPERIMENTS.md numbers come
@@ -98,6 +98,51 @@ val e15_batching : ?quick:bool -> unit -> Stats.Table.t
     1/4/16/64 for the three broadcast protocols. Shows committed
     throughput, p50/p95 commit latency, and the amortized sequencer
     order-datagram cost per committed transaction. *)
+
+type e16_row = {
+  e16_protocol : string;
+  e16_batch : int;  (** frame capacity (max_msgs), as in E15 *)
+  e16_committed : int;
+  e16_tps : float;
+  e16_p50_ms : float;
+  e16_p95_ms : float;
+  e16_means : (string * float) list;
+      (** windowed mean of each diagnosed resource's site-summed series,
+          keyed [evq]/[nic_us]/[delay]/[order]/[waiters]/[outst] *)
+  e16_series : string;
+      (** the cell's full telemetry time series, already rendered to the
+          JSONL schema of {!Obs.Sampler.to_jsonl} — the benchmark driver
+          writes the knee rows' series to [E16_series_<protocol>.jsonl] *)
+}
+
+type e16_knee = {
+  e16k_protocol : string;
+  e16k_batch : int;  (** first batch size whose tps gain falls under 15% *)
+  e16k_resource : string;  (** resource key with the largest growth factor *)
+  e16k_ratio : float;  (** its windowed mean at the knee / at batch=1
+                           (denominator floored at 1) *)
+}
+
+val e16_data : ?quick:bool -> unit -> e16_row list
+(** The raw E16 grid (protocol x batch size): the E15 saturation sweep
+    re-run with a 10ms telemetry sampling cadence. Deterministic and
+    pool-size independent like {!all}. *)
+
+val e16_knees : e16_row list -> e16_knee list
+(** Per protocol (grid order): locate the throughput knee and attribute it
+    to the resource whose windowed mean grew most versus the batch=1 run. *)
+
+val e16_table_of : e16_row list -> Stats.Table.t
+(** Render a computed grid (with its knee attribution column) without
+    re-running it — the benchmark driver prints the table {e and}
+    serializes the same rows to BENCH_*.json. *)
+
+val e16_telemetry : ?quick:bool -> unit -> Stats.Table.t
+(** Saturation telemetry: per (protocol, batch size) cell of the E15 sweep,
+    the measurement-window mean of six resource backlogs — engine event
+    queue, NIC serialization backlog, causal delay-queue depth, total-order
+    backlog, lock waiters, undecided transactions — plus a knee column
+    marking where batching stops paying and which resource saturated. *)
 
 val registry : (string * (?quick:bool -> unit -> Stats.Table.t)) list
 (** The experiments above, keyed by their DESIGN.md identifiers, in order,

@@ -20,11 +20,13 @@ type spec = {
   drain_limit : Sim.Time.t;
   collect_spans : bool;
   collect_audit : bool;
+  sample_every : Sim.Time.t option;
 }
 
 let spec ?config ?(profile = Workload.default) ?(txns_per_site = 200) ?(mpl = 2)
     ?(seed = 42) ?background_rate ?(events = []) ?(drain_limit = Sim.Time.of_sec 30.0)
-    ?(collect_spans = false) ?(collect_audit = false) ~n_sites protocol =
+    ?(collect_spans = false) ?(collect_audit = false) ?sample_every ~n_sites
+    protocol =
   {
     protocol;
     config = Option.value config ~default:(Repdb.Config.default ~n_sites);
@@ -37,6 +39,7 @@ let spec ?config ?(profile = Workload.default) ?(txns_per_site = 200) ?(mpl = 2)
     drain_limit;
     collect_spans;
     collect_audit;
+    sample_every;
   }
 
 type result = {
@@ -60,7 +63,24 @@ type result = {
   stores : (Net.Site_id.t * Db.Version_store.t) list;
   recorder : Obs.Recorder.t;
   audit : Audit.Log.t;
+  sampler : Obs.Sampler.t;
 }
+
+(* Runner-level probes: event-queue depth, event-processing rate, and the
+   GC's minor allocation rate. The deltas are measured strictly between
+   ticks of one run (which executes uninterrupted on one domain), so they
+   are deterministic regardless of the worker-pool size. *)
+let install_sim_probes sampler engine =
+  if Obs.Sampler.enabled sampler then begin
+    Obs.Sampler.register sampler ~name:"sim_events_pending" (fun () ->
+        float_of_int (Sim.Engine.pending engine));
+    Obs.Sampler.register sampler ~name:"sim_events_processed"
+      ~kind:Obs.Sampler.Delta (fun () ->
+        float_of_int (Sim.Engine.processed engine));
+    Obs.Sampler.register sampler ~name:"gc_minor_words"
+      ~kind:Obs.Sampler.Delta (fun () -> Gc.minor_words ());
+    Obs.Sampler.attach sampler engine
+  end
 
 let run s =
   let module P = (val Repdb.Protocol.get s.protocol) in
@@ -75,8 +95,16 @@ let run s =
     if s.collect_audit then Audit.Log.create ~n:s.config.Repdb.Config.n_sites
     else s.config.Repdb.Config.audit
   in
-  let config = { s.config with Repdb.Config.obs = recorder; audit } in
+  (* Same per-run-ownership rule as the recorder: [sample_every] installs a
+     fresh sampler so results stay a pure function of the spec. *)
+  let sampler =
+    match s.sample_every with
+    | Some interval -> Obs.Sampler.create ~interval ()
+    | None -> s.config.Repdb.Config.sampler
+  in
+  let config = { s.config with Repdb.Config.obs = recorder; audit; sampler } in
   let system = P.create engine config ~history in
+  install_sim_probes sampler engine;
   let n = s.config.Repdb.Config.n_sites in
   let committed = ref 0
   and aborted = ref 0
@@ -261,6 +289,7 @@ let run s =
         (Net.Site_id.all ~n);
     recorder;
     audit;
+    sampler;
   }
 
 (* ---------------- saturation (closed-loop, time-windowed) ---------------- *)
@@ -274,11 +303,12 @@ type sat_result = {
   sat_order_wire_msgs : int;
   sat_datagrams : int;
   sat_audit : Audit.Log.t;
+  sat_sampler : Obs.Sampler.t;
 }
 
 let run_saturation ?config ?(profile = Workload.default)
     ?(load = Workload.closed_loop_default) ?(seed = 42)
-    ?(collect_audit = false) ?clients_on ~n_sites protocol =
+    ?(collect_audit = false) ?sample_every ?clients_on ~n_sites protocol =
   Workload.validate_closed_loop load;
   let has_clients =
     match clients_on with
@@ -295,8 +325,14 @@ let run_saturation ?config ?(profile = Workload.default)
     if collect_audit then Audit.Log.create ~n:n_sites else Audit.Log.none
   in
   let base = Option.value config ~default:(Repdb.Config.default ~n_sites) in
-  let config = { base with Repdb.Config.audit } in
+  let sampler =
+    match sample_every with
+    | Some interval -> Obs.Sampler.create ~interval ()
+    | None -> base.Repdb.Config.sampler
+  in
+  let config = { base with Repdb.Config.audit; sampler } in
   let system = P.create engine config ~history in
+  install_sim_probes sampler engine;
   let w_start = load.Workload.warmup in
   let w_end = Sim.Time.add load.Workload.warmup load.Workload.measure in
   let in_window at =
@@ -361,6 +397,7 @@ let run_saturation ?config ?(profile = Workload.default)
     sat_order_wire_msgs;
     sat_datagrams = Net.Net_stats.datagrams (P.net_stats system);
     sat_audit = audit;
+    sat_sampler = sampler;
   }
 
 let check_execution ?require_all_decided ?deadlock_free result =

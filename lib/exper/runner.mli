@@ -38,6 +38,13 @@ type spec = {
           {!Audit.Log} (returned in the result, already finalized) in
           place of the config's. Off by default — same one-branch
           discipline as [collect_spans]. *)
+  sample_every : Sim.Time.t option;
+      (** snapshot every registered telemetry pull-probe on this
+          simulated-time cadence: the run installs a fresh {!Obs.Sampler}
+          (returned in the result) in place of the config's, and every
+          layer registers its queue/backlog/lock probes on it at
+          construction. [None] (default) uses the config's sampler —
+          normally the disabled {!Obs.Sampler.none}. *)
 }
 
 val spec :
@@ -51,12 +58,13 @@ val spec :
   ?drain_limit:Sim.Time.t ->
   ?collect_spans:bool ->
   ?collect_audit:bool ->
+  ?sample_every:Sim.Time.t ->
   n_sites:int ->
   Repdb.Protocol.id ->
   spec
 (** Defaults: the {!Repdb.Config.default} for [n_sites], default workload
     profile, 200 transactions per site, mpl 2, seed 42, no background, no
-    events, 30s drain, spans off, audit off. *)
+    events, 30s drain, spans off, audit off, sampling off. *)
 
 type result = {
   protocol_name : string;
@@ -91,6 +99,10 @@ type result = {
           [collect_audit]; already finalized, so {!Audit.Log.finalize}
           returns the frozen verdict and {!Audit.Log.events} the delivery
           DAG (feed it to {!Audit.Accounting}) *)
+  sampler : Obs.Sampler.t;
+      (** the run's telemetry sampler — disabled unless the spec set
+          [sample_every] (or the config carried an enabled sampler); feed
+          it to {!Obs.Sampler.to_jsonl} / {!Obs.Sampler.final_values} *)
 }
 
 val run : spec -> result
@@ -110,6 +122,10 @@ type sat_result = {
           (batched assignments count once per frame); 0 with audit off *)
   sat_datagrams : int;  (** whole run, not windowed *)
   sat_audit : Audit.Log.t;
+  sat_sampler : Obs.Sampler.t;
+      (** the run's telemetry sampler — disabled unless [sample_every] was
+          given; experiment E16 reads the per-resource time series out of
+          it to attribute the saturation knee *)
 }
 
 val run_saturation :
@@ -118,6 +134,7 @@ val run_saturation :
   ?load:Workload.closed_loop ->
   ?seed:int ->
   ?collect_audit:bool ->
+  ?sample_every:Sim.Time.t ->
   ?clients_on:Net.Site_id.t list ->
   n_sites:int ->
   Repdb.Protocol.id ->

@@ -23,6 +23,8 @@ type 'm t = {
   link_clock : Sim.Time.t array;
   mutable partition_group : Site_id.Set.t option;
   stats : Net_stats.t;
+  (* scheduled-but-undelivered datagrams, for telemetry probes *)
+  mutable in_flight : int;
 }
 
 let validate_loss ~who = function
@@ -50,12 +52,33 @@ let create engine ~n ~latency ?(classify = fun _ -> "msg")
     partition_group = None;
     stats = Net_stats.create ();
     tx_clock = Array.make n Sim.Time.zero;
+    in_flight = 0;
   }
 
 let engine t = t.engine
 let n_sites t = t.n
 let sites t = Site_id.all ~n:t.n
 let stats t = t.stats
+let in_flight t = t.in_flight
+
+(* Telemetry probes over the link/NIC clocks: called only on sampling
+   ticks, never on the send hot path, so an O(n^2) scan is fine. *)
+let busy_links t =
+  let now = Sim.Engine.now t.engine in
+  let k = ref 0 in
+  Array.iter
+    (fun at -> if Sim.Time.compare at now > 0 then incr k)
+    t.link_clock;
+  !k
+
+let tx_backlog_us t =
+  let now = Sim.Engine.now t.engine in
+  Array.fold_left
+    (fun acc free ->
+      if Sim.Time.compare free now > 0 then
+        acc + Sim.Time.to_us (Sim.Time.diff free now)
+      else acc)
+    0 t.tx_clock
 
 let set_handler t site handler =
   if site < 0 || site >= t.n then invalid_arg "Network.set_handler: bad site";
@@ -128,7 +151,9 @@ let deliver_scheduled t ~src ~dst msg =
   let slot = (src * t.n) + dst in
   let at = Sim.Time.max earliest t.link_clock.(slot) in
   t.link_clock.(slot) <- at;
+  t.in_flight <- t.in_flight + 1;
   let callback () =
+    t.in_flight <- t.in_flight - 1;
     if t.up.(dst) then begin
       match t.handlers.(dst) with
       | Some handler ->

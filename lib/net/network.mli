@@ -56,6 +56,25 @@ val n_sites : 'm t -> int
 val sites : 'm t -> Site_id.t list
 val stats : 'm t -> Net_stats.t
 
+(** {2 Telemetry probes}
+
+    Current-state reads for the time-series sampler. Cheap relative to a
+    sampling tick but not free ({!busy_links} scans the n^2 link clocks) —
+    call them from probes, not from per-message paths. *)
+
+val in_flight : 'm t -> int
+(** Datagrams scheduled but not yet delivered (includes copies that will
+    be dropped at delivery time). *)
+
+val busy_links : 'm t -> int
+(** Ordered site pairs whose FIFO link clock is in the future — links that
+    still have traffic queued or in transit ahead of [now]. *)
+
+val tx_backlog_us : 'm t -> int
+(** Sum over sites of how far each NIC's transmit clock runs ahead of now,
+    in microseconds — the serialization backlog batching amortizes. Always
+    0 when the network was created with [tx_time] zero. *)
+
 val set_handler : 'm t -> Site_id.t -> (src:Site_id.t -> 'm -> unit) -> unit
 (** Install the message handler for a site. Must be called once per site
     before any traffic reaches it. *)

@@ -3,13 +3,19 @@ type handle = Event_queue.handle
 type t = {
   queue : (unit -> unit) Event_queue.t;
   mutable clock : Time.t;
+  mutable processed : int;
   root_rng : Rng.t;
 }
 
 exception Stop
 
 let create ?(seed = 42) () =
-  { queue = Event_queue.create (); clock = Time.zero; root_rng = Rng.create ~seed }
+  {
+    queue = Event_queue.create ();
+    clock = Time.zero;
+    processed = 0;
+    root_rng = Rng.create ~seed;
+  }
 
 let now t = t.clock
 let rng t = t.root_rng
@@ -24,12 +30,14 @@ let schedule t ~delay callback =
 let cancel t handle = Event_queue.cancel t.queue handle
 
 let pending t = Event_queue.size t.queue
+let processed t = t.processed
 
 let step t =
   match Event_queue.pop t.queue with
   | None -> false
   | Some (time, callback) ->
     t.clock <- time;
+    t.processed <- t.processed + 1;
     callback ();
     true
 

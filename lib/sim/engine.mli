@@ -30,6 +30,10 @@ val cancel : t -> handle -> unit
 val pending : t -> int
 (** Number of scheduled, uncancelled events. *)
 
+val processed : t -> int
+(** Number of callbacks run since creation — with {!pending}, the raw
+    material for event-rate telemetry probes. *)
+
 exception Stop
 (** Raise from a callback to stop {!run} / {!run_until} immediately. *)
 

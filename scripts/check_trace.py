@@ -10,6 +10,9 @@ Accepts both formats `repdb_sim --trace` writes:
               by timestamp, and lines with "stream":"audit" are the
               message-lineage audit stream (`run --audit`), led by a
               schema header carrying its version and site count.
+              Lines with "stream":"series" are the sampled telemetry
+              time series (`run --series`): one header naming every
+              probe, then one row of values per sampling tick.
   * (else)    Chrome trace-event JSON: {"traceEvents":[...]} with
               ph B/E/i/M, pid = site, ts in microseconds — or an
               audit report ({"stream":"audit-report"}, the output of
@@ -25,7 +28,11 @@ Checks, per file:
     version, every event of a known type with its required fields,
     site/origin indices within the header's site count;
   - audit reports: known schema version, counters present, every
-    violation carrying a monitor name and a non-empty causal slice.
+    violation carrying a monitor name and a non-empty causal slice;
+  - series lines, when present: exactly one header (known schema
+    version, positive integer interval, well-formed probe list)
+    preceding every row, integer non-decreasing row timestamps, and
+    every row carrying exactly one numeric value per probe.
 
 Exit status: 0 if every file passes, 1 otherwise. Used by CI on the
 traces produced for each protocol and for the audited chaos replays.
@@ -157,6 +164,68 @@ def check_audit_report(path, doc):
     return True
 
 
+SERIES_SCHEMA_VERSION = 1
+SERIES_PROBE_KINDS = ("gauge", "delta")
+SERIES_NONFINITE = ("+inf", "-inf", "nan")
+
+
+def check_series_lines(path, lines):
+    """lines: (line_no, parsed object) for every "stream":"series" line."""
+    headers = [(n, o) for n, o in lines if "probes" in o]
+    if len(headers) != 1:
+        return fail(
+            path, f"expected exactly 1 series schema header, got {len(headers)}"
+        )
+    h_line, header = headers[0]
+    if header.get("schema") != SERIES_SCHEMA_VERSION:
+        return fail(
+            path,
+            f"line {h_line}: series schema {header.get('schema')!r}, "
+            f"expected {SERIES_SCHEMA_VERSION}",
+        )
+    interval = header.get("interval_us")
+    if not isinstance(interval, int) or interval < 1:
+        return fail(path, f"line {h_line}: bad interval_us {interval!r}")
+    probes = header.get("probes")
+    if not isinstance(probes, list) or not probes:
+        return fail(path, f"line {h_line}: empty or missing probes list")
+    for i, p in enumerate(probes):
+        if not (isinstance(p, dict) and isinstance(p.get("name"), str) and p["name"]):
+            return fail(path, f"line {h_line}: probe {i} without a name")
+        if not isinstance(p.get("labels"), dict):
+            return fail(path, f"line {h_line}: probe {i} without a labels object")
+        if p.get("kind") not in SERIES_PROBE_KINDS:
+            return fail(
+                path, f"line {h_line}: probe {i} kind {p.get('kind')!r} unknown"
+            )
+    rows = 0
+    last_ts = None
+    for n, obj in lines:
+        if "probes" in obj:
+            continue
+        if n < h_line:
+            return fail(path, f"line {n}: series row precedes the schema header")
+        ts = obj.get("ts_us")
+        if not isinstance(ts, int):
+            return fail(path, f"line {n}: series row without integer ts_us")
+        if last_ts is not None and ts < last_ts:
+            return fail(path, f"line {n}: ts_us {ts} < previous {last_ts}")
+        last_ts = ts
+        values = obj.get("values")
+        if not isinstance(values, list) or len(values) != len(probes):
+            got = len(values) if isinstance(values, list) else "none"
+            return fail(
+                path, f"line {n}: {got} values for {len(probes)} probes"
+            )
+        for i, v in enumerate(values):
+            numeric = isinstance(v, (int, float)) and not isinstance(v, bool)
+            if not numeric and v not in SERIES_NONFINITE:
+                return fail(path, f"line {n}: value {i} is {v!r}, not a number")
+        rows += 1
+    print(f"{path}: series OK ({len(probes)} probes, {rows} rows)")
+    return True
+
+
 def fail(path, msg):
     print(f"{path}: FAIL: {msg}")
     return False
@@ -207,6 +276,7 @@ def check_chrome(path):
 def check_jsonl(path):
     events = []
     audit_lines = []
+    series_lines = []
     with open(path) as f:
         for n, line in enumerate(f, 1):
             line = line.strip()
@@ -216,14 +286,21 @@ def check_jsonl(path):
             stream = obj.get("stream")
             if stream == "audit":
                 audit_lines.append((n, obj))
+            elif stream == "series":
+                series_lines.append((n, obj))
             elif stream == "span":
                 events.append(
                     (obj["ts_us"], (obj.get("site"), obj.get("txn")), obj["kind"])
                 )
             # ring-trace lines interleave by design; nothing to check
+    if series_lines and not events and not audit_lines:
+        # a standalone series export (run --series FILE.jsonl)
+        return check_series_lines(path, series_lines)
     ok = check_events(path, events)
     if audit_lines:
         ok = check_audit_lines(path, audit_lines) and ok
+    if series_lines:
+        ok = check_series_lines(path, series_lines) and ok
     return ok
 
 

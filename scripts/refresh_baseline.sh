@@ -1,0 +1,30 @@
+#!/bin/sh
+# Regenerate bench/baseline.json — the committed reference that CI's
+# bench_diff.py gate compares fresh benchmark runs against.
+#
+# The baseline comes from the --quick suite with a 2-domain pool, matching
+# what CI runs. The simulation metrics the gate checks strictly (E15/E16
+# tps, p95, contract verdicts) are deterministic and pool-size independent,
+# so a baseline refreshed on any machine is valid everywhere; the micro
+# ns/op numbers are machine-local but only ever compared warn-only.
+#
+# Run from the repository root after a change that legitimately moves the
+# numbers, then commit the new baseline together with that change:
+#
+#   scripts/refresh_baseline.sh
+#   git add bench/baseline.json
+
+set -e
+
+cd "$(dirname "$0")/.."
+
+dune build bench/main.exe
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+(cd "$workdir" && BCASTDB_JOBS=2 "$OLDPWD/_build/default/bench/main.exe" --quick)
+
+json=$(ls "$workdir"/BENCH_*.json)
+cp "$json" bench/baseline.json
+echo "refreshed bench/baseline.json from $(basename "$json")"
