@@ -1,5 +1,5 @@
 (* Benchmark harness: regenerates every table/figure of the evaluation
-   (E1-E16, see DESIGN.md and EXPERIMENTS.md), then runs Bechamel
+   (E1-E17, see DESIGN.md and EXPERIMENTS.md), then runs Bechamel
    micro-benchmarks of the hot path behind each experiment.
 
    Simulation runs execute on the Parallel domain pool (sized by
@@ -26,6 +26,7 @@ let gate_obs = Array.exists (( = ) "--gate-obs") Sys.argv
    dumps each knee row's full telemetry time series to a JSONL file. *)
 let e15_rows : Exper.Experiments.e15_row list ref = ref []
 let e16_rows : Exper.Experiments.e16_row list ref = ref []
+let e17_rows : Exper.Experiments.e17_row list ref = ref []
 
 let write_e16_series rows =
   let knees = Exper.Experiments.e16_knees rows in
@@ -65,6 +66,11 @@ let print_tables () =
           let rows = Exper.Experiments.e16_data ~quick () in
           e16_rows := rows;
           Exper.Experiments.e16_table_of rows
+        end
+        else if id = "E17" then begin
+          let rows = Exper.Experiments.e17_data ~quick () in
+          e17_rows := rows;
+          Exper.Experiments.e17_table_of rows
         end
         else experiment ~quick ()
       in
@@ -359,7 +365,34 @@ let write_bench_json ~experiments ~micro ~total_wall =
            (json_escape k.Exper.Experiments.e16k_resource)
            k.Exper.Experiments.e16k_ratio))
     (Exper.Experiments.e16_knees !e16_rows);
-  Buffer.add_string buf (if !e16_rows = [] then "]\n" else "\n  ]\n");
+  Buffer.add_string buf (if !e16_rows = [] then "],\n" else "\n  ],\n");
+  Buffer.add_string buf "  \"e17_critpath\": [";
+  List.iteri
+    (fun i (r : Exper.Experiments.e17_row) ->
+      if i > 0 then Buffer.add_string buf ",";
+      let shares =
+        String.concat ", "
+          (List.map
+             (fun (key, v) ->
+               Printf.sprintf "\"%s\": %.4f" (json_escape key) v)
+             r.Exper.Experiments.e17_shares)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"protocol\": \"%s\", \"mode\": \"%s\", \"batch\": %d, \
+            \"txns\": %d, \"p50_ms\": %.3f, \"dominant\": \"%s\", \
+            \"max_residual_us\": %d, \"rounds\": %d, \"analytic_rounds\": \
+            %d, \"shares\": { %s } }"
+           (json_escape r.Exper.Experiments.e17_protocol)
+           (json_escape r.Exper.Experiments.e17_mode)
+           r.Exper.Experiments.e17_batch r.Exper.Experiments.e17_txns
+           r.Exper.Experiments.e17_p50_ms
+           (json_escape r.Exper.Experiments.e17_dominant)
+           r.Exper.Experiments.e17_max_residual_us
+           r.Exper.Experiments.e17_rounds
+           r.Exper.Experiments.e17_analytic_rounds shares))
+    !e17_rows;
+  Buffer.add_string buf (if !e17_rows = [] then "]\n" else "\n  ]\n");
   Buffer.add_string buf "}\n";
   let oc = open_out file in
   output_string oc (Buffer.contents buf);

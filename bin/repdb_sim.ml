@@ -1,12 +1,14 @@
 (* Command-line driver.
 
    repdb_sim run <protocol> [options]   — one simulation, full report
-   repdb_sim exper [E1..E16] [--quick]  — regenerate evaluation tables
+   repdb_sim exper [E1..E17] [--quick]  — regenerate evaluation tables
    repdb_sim fuzz [--seeds N] [options] — seeded chaos: random fault
                                           schedules, 1SR + convergence
                                           checking, failing-seed shrinking
    repdb_sim audit --trace FILE         — re-run the broadcast-contract
                                           monitors over a recorded stream
+   repdb_sim explain --trace FILE       — per-transaction critical paths
+                                          with latency blame attribution
    repdb_sim list                       — protocols and experiments *)
 
 open Cmdliner
@@ -54,7 +56,11 @@ let print_drops (r : Exper.Runner.result) =
 
 (* Metrics snapshot: the run's registry plus the network drop counters
    (kept by Net_stats, surfaced here so the JSON is self-contained) and, on
-   sampled runs, every telemetry probe's end-of-run value as a gauge. *)
+   sampled runs, every telemetry probe exported twice — [probe_<name>_total]
+   is the run total (gauges read now, delta probes the cumulative increase
+   since registration) and [probe_<name>_last] the final sampling window
+   only (delta probes report per-window increments; folding the two under
+   one name silently mixed their units). *)
 let export_metrics (r : Exper.Runner.result) path =
   let registry = Obs.Recorder.registry r.Exper.Runner.recorder in
   List.iter
@@ -66,8 +72,14 @@ let export_metrics (r : Exper.Runner.result) path =
     r.Exper.Runner.drops_by_category;
   List.iter
     (fun ((name, labels), v) ->
-      Obs.Registry.set_gauge registry ~name:("probe_" ^ name) ~labels v)
+      Obs.Registry.set_gauge registry ~name:("probe_" ^ name ^ "_total")
+        ~labels v)
     (Obs.Sampler.final_values r.Exper.Runner.sampler);
+  List.iter
+    (fun ((name, labels), v) ->
+      Obs.Registry.set_gauge registry ~name:("probe_" ^ name ^ "_last")
+        ~labels v)
+    (Obs.Sampler.last_values r.Exper.Runner.sampler);
   write_text_file path (Obs.Export.metrics_json registry);
   Printf.printf "metrics        : -> %s\n" path
 
@@ -341,7 +353,7 @@ let exper_cmd which quick markdown jobs =
           match List.assoc_opt id experiments with
           | Some fn -> Some (id, fn)
           | None ->
-            Printf.eprintf "unknown experiment %s (E1..E16)\n" id;
+            Printf.eprintf "unknown experiment %s (E1..E17)\n" id;
             exit 2)
         ids
   in
@@ -354,7 +366,7 @@ let exper_cmd which quick markdown jobs =
     selected
 
 let which =
-  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"E1..E16 (default: all)")
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"E1..E17 (default: all)")
 
 let quick = Arg.(value & flag & info [ "quick" ] ~doc:"smaller workloads")
 
@@ -540,20 +552,213 @@ let fuzz_term =
     $ series_file)
 
 (* ------------------------------------------------------------------ *)
+(* Shared line reader for the offline trace commands. *)
+
+let read_lines file =
+  let ic = open_in file in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* explain (offline critical-path extraction over a recorded trace) *)
+
+let path_dominant (p : Critpath.path) =
+  let totals = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Critpath.segment) ->
+      let d = s.Critpath.sg_to_us - s.Critpath.sg_from_us in
+      let k = s.Critpath.sg_seg in
+      Hashtbl.replace totals k
+        (d + Option.value ~default:0 (Hashtbl.find_opt totals k)))
+    p.Critpath.p_segments;
+  List.fold_left
+    (fun (bk, bv) seg ->
+      match Hashtbl.find_opt totals seg with
+      | Some v when v > bv -> (Critpath.seg_name seg, v)
+      | _ -> (bk, bv))
+    ("none", 0) Critpath.all_segs
+  |> fst
+
+let print_path (p : Critpath.path) =
+  Printf.printf
+    "T%d.%d  latency %.3fms  (submit %dus, decide %dus, rounds %d, hops %d, \
+     residual %dus)\n"
+    p.Critpath.p_origin p.Critpath.p_local
+    (float_of_int (Critpath.latency_us p) /. 1000.0)
+    p.Critpath.p_submit_us p.Critpath.p_decide_us p.Critpath.p_rounds
+    p.Critpath.p_hops p.Critpath.p_residual_us;
+  List.iter
+    (fun (s : Critpath.segment) ->
+      Printf.printf "  %9d .. %-9d %8dus  S%d  %-14s %s\n" s.Critpath.sg_from_us
+        s.Critpath.sg_to_us
+        (s.Critpath.sg_to_us - s.Critpath.sg_from_us)
+        s.Critpath.sg_site
+        (Critpath.seg_name s.Critpath.sg_seg)
+        s.Critpath.sg_note)
+    p.Critpath.p_segments
+
+let explain_cmd file txn_id json_out flow_out top =
+  let lines = read_lines file in
+  match Critpath.of_trace_lines lines with
+  | Error e ->
+    Printf.eprintf "%s: %s\n" file e;
+    exit 2
+  | Ok (_n, spans, audit) ->
+    let all_paths = Critpath.explain ~spans ~audit in
+    if all_paths = [] then begin
+      Printf.eprintf
+        "%s: no committed transactions in the trace (record the run with \
+         --trace FILE.jsonl --audit)\n"
+        file;
+      exit 1
+    end;
+    let paths =
+      match txn_id with
+      | None -> all_paths
+      | Some id -> (
+        let id =
+          if String.length id > 0 && (id.[0] = 'T' || id.[0] = 't') then
+            String.sub id 1 (String.length id - 1)
+          else id
+        in
+        match String.split_on_char '.' id with
+        | [ o; l ] -> (
+          match (int_of_string_opt o, int_of_string_opt l) with
+          | Some o, Some l -> (
+            match
+              List.filter
+                (fun (p : Critpath.path) ->
+                  p.Critpath.p_origin = o && p.Critpath.p_local = l)
+                all_paths
+            with
+            | [] ->
+              Printf.eprintf
+                "transaction T%d.%d is not a committed transaction of %s\n" o l
+                file;
+              exit 1
+            | ps -> ps)
+          | _ ->
+            Printf.eprintf "--txn expects ORIGIN.LOCAL, e.g. 2.17 or T2.17\n";
+            exit 2)
+        | _ ->
+          Printf.eprintf "--txn expects ORIGIN.LOCAL, e.g. 2.17 or T2.17\n";
+          exit 2)
+    in
+    let table =
+      Stats.Table.create
+        ~title:
+          (Printf.sprintf
+             "critical-path blame over %d committed transaction%s"
+             (List.length paths)
+             (if List.length paths = 1 then "" else "s"))
+        ~columns:
+          [ "segment"; "txns"; "total ms"; "mean ms"; "p50 ms"; "p95 ms";
+            "p99 ms"; "share" ]
+    in
+    List.iter
+      (fun (b : Critpath.blame) ->
+        Stats.Table.add_row table
+          [
+            Critpath.seg_name b.Critpath.b_seg;
+            Stats.Table.cell_int b.Critpath.b_txns;
+            Stats.Table.cell_float
+              (float_of_int b.Critpath.b_total_us /. 1000.0);
+            Stats.Table.cell_float (b.Critpath.b_mean_us /. 1000.0);
+            Stats.Table.cell_float (float_of_int b.Critpath.b_p50_us /. 1000.0);
+            Stats.Table.cell_float (float_of_int b.Critpath.b_p95_us /. 1000.0);
+            Stats.Table.cell_float (float_of_int b.Critpath.b_p99_us /. 1000.0);
+            Stats.Table.cell_pct b.Critpath.b_share;
+          ])
+      (Critpath.blame_table paths);
+    Stats.Table.print table;
+    print_newline ();
+    if txn_id <> None then List.iter print_path paths
+    else begin
+      Printf.printf "slowest transactions:\n";
+      List.iter
+        (fun (p : Critpath.path) ->
+          Printf.printf "  T%d.%-4d %10.3fms  rounds %d  dominant %s\n"
+            p.Critpath.p_origin p.Critpath.p_local
+            (float_of_int (Critpath.latency_us p) /. 1000.0)
+            p.Critpath.p_rounds (path_dominant p))
+        (Critpath.top_slowest ~k:top paths)
+    end;
+    Option.iter
+      (fun path ->
+        write_text_file path (Critpath.to_json ~top paths);
+        Printf.printf "critpath json  : -> %s\n" path)
+      json_out;
+    Option.iter
+      (fun path ->
+        let objects = List.concat_map Critpath.flow_objects paths in
+        Obs.Export.write_file ~path ~objects spans;
+        Printf.printf "flow trace     : %d flow events -> %s\n"
+          (List.length objects) path)
+      flow_out
+
+let explain_trace_file =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "a .jsonl trace recorded by $(b,run --trace FILE.jsonl --audit): \
+           the profiler walks each committed transaction's critical path \
+           backwards through the merged span + delivery streams")
+
+let explain_txn =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "txn" ] ~docv:"ID"
+        ~doc:
+          "show one transaction's full segment chain (ORIGIN.LOCAL, e.g. \
+           2.17) instead of the slowest-transactions digest")
+
+let explain_json_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "write the blame table and per-transaction segment rows as a JSON \
+           document (stream critpath, schema 1 — validated by \
+           scripts/check_trace.py)")
+
+let explain_flow_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flow" ] ~docv:"FILE"
+        ~doc:
+          "write a Chrome trace-event file (open in Perfetto) of the span \
+           events plus one flow-arrow chain per critical path; use a .json \
+           path — the JSONL form has no place for flow events")
+
+let explain_top =
+  Arg.(
+    value & opt int 5
+    & info [ "top" ] ~docv:"K"
+        ~doc:
+          "size of the slowest-transactions digest (and the per-transaction \
+           row cap in $(b,--json) output)")
+
+let explain_term =
+  Term.(
+    const explain_cmd $ explain_trace_file $ explain_txn $ explain_json_out
+    $ explain_flow_out $ explain_top)
+
+(* ------------------------------------------------------------------ *)
 (* audit (offline replay of a recorded stream) *)
 
 let audit_cmd file json_out =
-  let lines =
-    let ic = open_in file in
-    let rec go acc =
-      match input_line ic with
-      | line -> go (line :: acc)
-      | exception End_of_file ->
-        close_in ic;
-        List.rev acc
-    in
-    go []
-  in
+  let lines = read_lines file in
   let n =
     match List.find_opt Audit.Event.is_schema_line lines with
     | None ->
@@ -643,6 +848,12 @@ let cmd =
              "re-run the broadcast-contract monitors over a recorded audit \
               stream")
         audit_term;
+      Cmd.v
+        (Cmd.info "explain"
+           ~doc:
+             "extract each committed transaction's critical path from a \
+              recorded trace and attribute its latency, segment by segment")
+        explain_term;
       Cmd.v (Cmd.info "list" ~doc:"list protocols and experiments")
         Term.(const list_cmd $ const ());
     ]

@@ -37,6 +37,15 @@ type t =
       vc : int array option;
       global_seq : int option;
       flush : bool;
+      (* v3 wire timestamps of the datagram that carried this message
+         (absent on deliveries that bypassed the network, e.g. a joiner's
+         state-transfer replay): when the sender enqueued it, when it
+         cleared the sender's NIC, and when the datagram arrived — the
+         delivery time [at] may run later than [t_arrive] by ordering
+         wait (hold-back queue, sequencer, Lamport stamps). *)
+      t_sent : Sim.Time.t option;
+      t_depart : Sim.Time.t option;
+      t_arrive : Sim.Time.t option;
     }
   | Pass of { at : Sim.Time.t; site : int; msg : msg; vc : int array; flush : bool }
   | Order_assign of {
@@ -80,8 +89,11 @@ let at = function
 
 (* v2: send/order events may carry an optional "frame" field — the wire
    frame a batched broadcast travelled in / the sequencer sweep a batched
-   order assignment shipped in. Absent on unbatched streams. *)
-let schema_version = 2
+   order assignment shipped in. Absent on unbatched streams.
+   v3: deliver events may carry the datagram's wire timestamps
+   t_sent/t_depart/t_arrive (µs) — the critical-path profiler's raw
+   material. Absent on deliveries that bypassed the network. *)
+let schema_version = 3
 
 let schema_line ~n =
   Printf.sprintf
@@ -109,6 +121,10 @@ let frame_field = function
   | None -> ""
   | Some f -> Printf.sprintf ",\"frame\":%d" f
 
+let time_field name = function
+  | None -> ""
+  | Some t -> Printf.sprintf ",\"%s\":%d" name (Sim.Time.to_us t)
+
 let to_json e =
   let us = Sim.Time.to_us in
   match e with
@@ -117,11 +133,15 @@ let to_json e =
       "{\"stream\":\"audit\",\"type\":\"send\",\"ts_us\":%d,%s,\"txn\":%s,\"vc\":%s%s}"
       (us at) (msg_fields msg) (txn_json txn) (opt_ints_json vc)
       (frame_field frame)
-  | Deliver { at; site; msg; vc; global_seq; flush } ->
+  | Deliver { at; site; msg; vc; global_seq; flush; t_sent; t_depart; t_arrive }
+    ->
     Printf.sprintf
-      "{\"stream\":\"audit\",\"type\":\"deliver\",\"ts_us\":%d,\"site\":%d,%s,\"vc\":%s,\"gseq\":%s,\"flush\":%b}"
+      "{\"stream\":\"audit\",\"type\":\"deliver\",\"ts_us\":%d,\"site\":%d,%s,\"vc\":%s,\"gseq\":%s,\"flush\":%b%s%s%s}"
       (us at) site (msg_fields msg) (opt_ints_json vc)
       (opt_int_json global_seq) flush
+      (time_field "t_sent" t_sent)
+      (time_field "t_depart" t_depart)
+      (time_field "t_arrive" t_arrive)
   | Pass { at; site; msg; vc; flush } ->
     Printf.sprintf
       "{\"stream\":\"audit\",\"type\":\"pass\",\"ts_us\":%d,\"site\":%d,%s,\"vc\":%s,\"flush\":%b}"
@@ -345,6 +365,7 @@ let of_json line =
             frame = fint_maybe fields "frame";
           }
       | "deliver" ->
+        let time_maybe k = Option.map Sim.Time.of_us (fint_maybe fields k) in
         Deliver
           {
             at = ts ();
@@ -353,6 +374,9 @@ let of_json line =
             vc = fints_opt fields "vc";
             global_seq = fint_opt fields "gseq";
             flush = fbool fields "flush";
+            t_sent = time_maybe "t_sent";
+            t_depart = time_maybe "t_depart";
+            t_arrive = time_maybe "t_arrive";
           }
       | "pass" ->
         Pass

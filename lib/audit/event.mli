@@ -47,6 +47,16 @@ type t =
       flush : bool;
           (** delivered by a join flush ([force_apply_window]) — outside
               the primitive's normal order, by design *)
+      t_sent : Sim.Time.t option;
+          (** when the sender enqueued the broadcast's wire datagram
+              (schema v3; [None] on deliveries that bypassed the network,
+              e.g. a joiner's state-transfer replay) *)
+      t_depart : Sim.Time.t option;
+          (** when the datagram cleared the sender's NIC and entered the
+              link ([t_depart - t_sent] = batch-delay + serialization wait) *)
+      t_arrive : Sim.Time.t option;
+          (** when the datagram arrived at [site]; [at - t_arrive] is the
+              ordering wait (hold-back queue, sequencer, Lamport stamps) *)
     }
   | Pass of { at : Sim.Time.t; site : int; msg : msg; vc : int array; flush : bool }
       (** a total-class message passed causal order at [site]; its app
@@ -107,3 +117,26 @@ val is_audit_line : string -> bool
 (** The line carries ["stream":"audit"] (event or schema header). *)
 
 val is_schema_line : string -> bool
+
+(** {2 Flat JSON reader}
+
+    The hand-rolled parser behind {!of_json}, exposed so other trace
+    consumers (the critical-path profiler reads ["stream":"span"] lines
+    from the same JSONL file) can share it instead of growing their own.
+    It reads exactly the flat objects this codebase emits: one object per
+    line, string / int / bool / null / int-array values, no nesting, no
+    string escapes. *)
+
+type jval = Jint of int | Jstr of string | Jbool of bool | Jnull | Jints of int list
+
+exception Parse of string
+
+val parse_flat : string -> (string * jval) list
+(** Fields in document order. Raises {!Parse} on malformed input. *)
+
+val fint : (string * jval) list -> string -> int
+(** Required int field; raises {!Parse} when absent or mistyped. *)
+
+val fstr : (string * jval) list -> string -> string
+val fint_maybe : (string * jval) list -> string -> int option
+(** [None] when the field is absent or null. *)

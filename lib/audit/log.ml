@@ -210,7 +210,7 @@ let check s ev =
     let sr = { sr_msg = msg; sr_txn = txn; sr_vc = vc } in
     let tbl = match msg.cls with Event.R -> s.sends_rel | _ -> s.sends_ord in
     Hashtbl.replace tbl (msg.origin, msg.seq) sr
-  | Event.Deliver { at; site; msg; vc; global_seq; flush } ->
+  | Event.Deliver { at; site; msg; vc; global_seq; flush; _ } ->
     s.n_delivers <- s.n_delivers + 1;
     let key = msg_key msg in
     if Hashtbl.mem s.delivered.(site) key then
@@ -323,7 +323,8 @@ let send ?frame t ~at ~origin ~cls ~seq ~txn ~vc =
            frame;
          })
 
-let deliver t ~at ~site ~origin ~cls ~seq ~vc ~global_seq ~flush =
+let deliver ?t_sent ?t_depart ?t_arrive t ~at ~site ~origin ~cls ~seq ~vc
+    ~global_seq ~flush =
   match t with
   | None -> ()
   | Some _ ->
@@ -336,6 +337,9 @@ let deliver t ~at ~site ~origin ~cls ~seq ~vc ~global_seq ~flush =
            vc = Option.map Vc.to_array vc;
            global_seq;
            flush;
+           t_sent;
+           t_depart;
+           t_arrive;
          })
 
 let pass t ~at ~site ~origin ~seq ~vc ~flush =

@@ -51,6 +51,9 @@ val send :
     broadcasts; omit it on unbatched sends. *)
 
 val deliver :
+  ?t_sent:Sim.Time.t ->
+  ?t_depart:Sim.Time.t ->
+  ?t_arrive:Sim.Time.t ->
   t ->
   at:Sim.Time.t ->
   site:int ->
@@ -61,6 +64,12 @@ val deliver :
   global_seq:int option ->
   flush:bool ->
   unit
+(** The optional timestamps are the carrying datagram's wire times
+    (schema v3, see {!Event.t}): when the sender enqueued it, when it
+    cleared the sender's NIC, and when it arrived at [site] — the
+    critical-path profiler decomposes [at - t_sent] into batch-wait,
+    serialization, link, and ordering-wait segments from them. Omit them
+    on deliveries that bypassed the network (join flush replays). *)
 
 val pass :
   t ->

@@ -106,6 +106,11 @@ type 'a t = {
          appear to follow the commit request it preceded, breaking the
          causal protocol's implicit-acknowledgment argument). *)
   recent : (Site_id.t, 'a entry Queue.t) Hashtbl.t;
+  (* wire timestamps of each app message's first-arriving datagram, kept
+     from network arrival until the app delivery's audit event consumes
+     them (the critical-path profiler's raw material). Populated only when
+     the audit log is live, so the common un-audited run never touches it. *)
+  rx_times : (Msg_id.t, Net.Network.rx_timing) Hashtbl.t;
   mutable relayed : Msg_id.Set.t;
   (* membership *)
   mutable view : View.t;
@@ -327,8 +332,17 @@ let remember_recent t ~origin entry =
   if Queue.length q > recent_log_capacity then ignore (Queue.pop q)
 
 let rec app_deliver ?(flush = false) t ~id ~vc ~global_seq payload =
-  Audit.Log.deliver t.group.g_audit ~at:(a_now t) ~site:t.me
-    ~origin:id.Msg_id.origin ~cls:(audit_cls id.Msg_id.cls)
+  let t_sent, t_depart, t_arrive =
+    match Hashtbl.find_opt t.rx_times id with
+    | Some tm ->
+      Hashtbl.remove t.rx_times id;
+      ( Some tm.Net.Network.rx_sent,
+        Some tm.Net.Network.rx_depart,
+        Some tm.Net.Network.rx_arrive )
+    | None -> (None, None, None)
+  in
+  Audit.Log.deliver ?t_sent ?t_depart ?t_arrive t.group.g_audit ~at:(a_now t)
+    ~site:t.me ~origin:id.Msg_id.origin ~cls:(audit_cls id.Msg_id.cls)
     ~seq:id.Msg_id.seq ~vc ~global_seq ~flush;
   match payload with
   | User user ->
@@ -766,7 +780,7 @@ and joiner_install t ~commit_id jc =
 (* ------------------------------------------------------------------ *)
 (* Wire dispatch *)
 
-and handle t ~src wire =
+and handle ?rx t ~src wire =
   if t.alive then begin
     t.last_heard.(src) <- Sim.Engine.now t.group.g_engine;
     if not t.initialized then begin
@@ -776,18 +790,19 @@ and handle t ~src wire =
       | Heartbeat -> ()
       | _ -> t.raw_buffer <- (src, wire) :: t.raw_buffer
     end
-    else handle_initialized t ~src wire
+    else handle_initialized ?rx t ~src wire
   end
 
-and handle_initialized t ~src wire =
+and handle_initialized ?rx t ~src wire =
   match wire with
-  | App { id; vc; payload; relayed = _ } -> handle_app t ~src ~id ~vc payload
+  | App { id; vc; payload; relayed = _ } -> handle_app ?rx t ~src ~id ~vc payload
   | Frame { frame = _; msgs } ->
     (* Unpack in sender order; each inner message goes through exactly the
-       App path. The sequencer sweep is deferred to once per frame. *)
+       App path (sharing the frame datagram's wire timestamps). The
+       sequencer sweep is deferred to once per frame. *)
     t.in_frame <- true;
     List.iter
-      (fun { f_id; f_vc; f_payload } -> handle_app t ~src ~id:f_id ~vc:f_vc f_payload)
+      (fun { f_id; f_vc; f_payload } -> handle_app ?rx t ~src ~id:f_id ~vc:f_vc f_payload)
       msgs;
     t.in_frame <- false;
     maybe_assign t
@@ -847,7 +862,18 @@ and replay_frozen t origin =
   t.frozen_buffer <- List.rev rest;
   List.iter (fun (src, wire) -> handle_initialized t ~src wire) mine
 
-and handle_app t ~src ~id ~vc payload =
+and handle_app ?rx t ~src ~id ~vc payload =
+  (* First arrival wins: under flooding a relayed copy may race the
+     origin's datagram, and the earliest copy is the one that drives
+     delivery progress. Frozen-buffered messages record here too — their
+     replay happens inside some later datagram's handler, whose timestamps
+     would be wrong for them. *)
+  (match rx with
+  | Some timing
+    when Audit.Log.enabled t.group.g_audit && not (Hashtbl.mem t.rx_times id)
+    ->
+    Hashtbl.replace t.rx_times id timing
+  | _ -> ());
   if Site_id.Set.mem id.Msg_id.origin t.frozen then
     t.frozen_buffer <- (src, App { id; vc; payload; relayed = false }) :: t.frozen_buffer
   else if not (View.mem t.view id.Msg_id.origin) then
@@ -986,6 +1012,7 @@ let recover group s =
     t.pending_out <- [];
     t.in_frame <- false;
     Hashtbl.reset t.recent;
+    Hashtbl.reset t.rx_times;
     t.relayed <- Msg_id.Set.empty;
     let now = Sim.Engine.now group.g_engine in
     Array.iteri (fun i _ -> t.last_heard.(i) <- now) t.last_heard;
@@ -1047,6 +1074,7 @@ let create_group (type a) engine ~n ~latency ?(classify = fun (_ : a) -> "app")
       sent_c = 0;
       app_cut = Array.make n 0;
       recent = Hashtbl.create 8;
+      rx_times = Hashtbl.create 64;
       relayed = Msg_id.Set.empty;
       view = View.initial ~n;
       last_heard = Array.make n Sim.Time.zero;
@@ -1083,7 +1111,8 @@ let create_group (type a) engine ~n ~latency ?(classify = fun (_ : a) -> "app")
   group.g_eps <- Array.init n make_endpoint;
   Array.iter
     (fun t ->
-      Net.Network.set_handler net t.me (fun ~src wire -> handle t ~src wire);
+      Net.Network.set_handler net t.me (fun ~src wire ->
+          handle ?rx:(Net.Network.rx_timing net) t ~src wire);
       schedule_timers t)
     group.g_eps;
   (* Time-series probes over the broadcast layer and its network. Guarded

@@ -1096,6 +1096,183 @@ let e16_table_of rows =
 
 let e16_telemetry ?(quick = false) () = e16_table_of (e16_data ~quick ())
 
+(* ------------------------------------------------------------------ *)
+(* E17: critical-path blame decomposition *)
+
+module CP = Critpath
+
+type e17_row = {
+  e17_protocol : string;
+  e17_mode : string;
+  e17_batch : int;
+  e17_txns : int;
+  e17_p50_ms : float;
+  e17_shares : (string * float) list;
+  e17_dominant : string;
+  e17_max_residual_us : int;
+  e17_rounds : int;
+  e17_analytic_rounds : int;
+}
+
+(* Fold one run's extracted paths into a row. [rounds] only makes sense on
+   the isolated runs (under concurrent load any site's traffic can stand
+   in for an acknowledgment, so the walked path's tagged-hop count is
+   legitimately mixed); load rows pass [analytic = -1] and get -1 back. *)
+let e17_row_of ~protocol ~mode ~batch ~analytic paths =
+  let blames = CP.blame_table paths in
+  let shares =
+    List.map (fun (b : CP.blame) -> (CP.seg_name b.CP.b_seg, b.CP.b_share)) blames
+  in
+  let dominant =
+    List.fold_left
+      (fun (bk, bv) (b : CP.blame) ->
+        if b.CP.b_total_us > bv then (CP.seg_name b.CP.b_seg, b.CP.b_total_us)
+        else (bk, bv))
+      ("none", 0) blames
+    |> fst
+  in
+  let p50_ms =
+    let lat = List.sort compare (List.map CP.latency_us paths) in
+    match lat with
+    | [] -> 0.0
+    | l -> float_of_int (List.nth l ((List.length l - 1) / 2)) /. 1000.0
+  in
+  let max_residual =
+    List.fold_left (fun acc p -> max acc p.CP.p_residual_us) 0 paths
+  in
+  let rounds =
+    if analytic < 0 then -1
+    else
+      match paths with
+      | [] -> -1
+      | p :: tl ->
+        if List.for_all (fun q -> q.CP.p_rounds = p.CP.p_rounds) tl then
+          p.CP.p_rounds
+        else -1
+  in
+  {
+    e17_protocol = protocol;
+    e17_mode = mode;
+    e17_batch = batch;
+    e17_txns = List.length paths;
+    e17_p50_ms = p50_ms;
+    e17_shares = shares;
+    e17_dominant = dominant;
+    e17_max_residual_us = max_residual;
+    e17_rounds = rounds;
+    e17_analytic_rounds = analytic;
+  }
+
+let e17_data ?(quick = false) () =
+  let n = 5 in
+  (* Part A — isolated rounds cross-check: one client loop on one site,
+     constant link latency, so no unrelated traffic can serve as an
+     implicit acknowledgment and the walked path's tagged delivery hops
+     must equal E14's closed-form round depths (reliable 2, causal 2,
+     atomic 1). *)
+  let iso_config =
+    {
+      (Repdb.Config.default ~n_sites:n) with
+      Repdb.Config.latency = Net.Latency.Constant (Sim.Time.of_ms 1);
+    }
+  in
+  let iso_load =
+    {
+      Workload.target_inflight = 1;
+      warmup = Sim.Time.of_ms 100;
+      measure = Sim.Time.of_sec (if quick then 0.5 else 1.0);
+    }
+  in
+  (* Part B — blame under load: the E15 saturation sweep re-run with span
+     and audit collection, so each (protocol, batch) cell decomposes its
+     p50 into per-segment blame and the E16 knee resource should reappear
+     as the dominant per-transaction segment. *)
+  let load =
+    {
+      Workload.target_inflight = 16;
+      warmup = Sim.Time.of_sec (if quick then 0.25 else 0.5);
+      measure = Sim.Time.of_sec (if quick then 0.5 else 1.0);
+    }
+  in
+  let sizes = if quick then [ 1; 16 ] else [ 1; 4; 16; 64 ] in
+  let cells =
+    List.map (fun proto -> `Isolated proto) broadcast_protocols
+    @ List.concat_map
+        (fun proto -> List.map (fun size -> `Load (proto, size)) sizes)
+        broadcast_protocols
+  in
+  Parallel.map cells ~f:(fun cell ->
+      let r, mode, batch, analytic =
+        match cell with
+        | `Isolated proto ->
+          let _, _, rounds =
+            analytic_costs proto ~n ~w:costs_profile.Workload.writes_per_txn
+          in
+          ( R.run_saturation ~config:iso_config ~profile:costs_profile
+              ~load:iso_load ~seed:17 ~collect_spans:true ~collect_audit:true
+              ~clients_on:[ 1 ] ~n_sites:n proto,
+            "isolated", 1, rounds )
+        | `Load (proto, size) ->
+          ( R.run_saturation ~config:(e15_config ~n size)
+              ~profile:costs_profile ~load ~seed:17 ~collect_spans:true
+              ~collect_audit:true
+              ~clients_on:(List.tl (Net.Site_id.all ~n)) ~n_sites:n proto,
+            "load", size, -1 )
+      in
+      let paths =
+        CP.explain
+          ~spans:(Obs.Recorder.events r.R.sat_recorder)
+          ~audit:(Audit.Log.events r.R.sat_audit)
+      in
+      e17_row_of ~protocol:r.R.sat_protocol_name ~mode ~batch ~analytic paths)
+
+let e17_table_of rows =
+  let table =
+    T.create
+      ~title:
+        "E17: critical-path blame decomposition — per-transaction latency \
+         split into attributed wait segments (isolated rows: one client on \
+         one site, constant 1ms links, tagged critical-path hops vs E14's \
+         closed-form rounds; load rows: the E15 saturation sweep, where \
+         the dominant segment names the E16 knee resource per txn; resid \
+         us = worst per-txn unattributed time, ~0 by construction)"
+      ~columns:
+        [ "protocol"; "mode"; "batch"; "txns"; "p50 ms"; "local"; "lock";
+          "batch-w"; "nic"; "link"; "order"; "timer"; "resid us"; "dominant";
+          "rounds"; "analytic" ]
+  in
+  List.iter
+    (fun row ->
+      let share key =
+        match List.assoc_opt key row.e17_shares with
+        | Some v -> T.cell_pct v
+        | None -> T.cell_pct 0.0
+      in
+      let opt_int v = if v < 0 then "-" else T.cell_int v in
+      T.add_row table
+        [
+          row.e17_protocol;
+          row.e17_mode;
+          T.cell_int row.e17_batch;
+          T.cell_int row.e17_txns;
+          T.cell_float row.e17_p50_ms;
+          share "local";
+          share "lock-wait";
+          share "batch-wait";
+          share "nic-serialize";
+          share "link-latency";
+          share "ordering-wait";
+          share "timer-wait";
+          T.cell_int row.e17_max_residual_us;
+          row.e17_dominant;
+          opt_int row.e17_rounds;
+          opt_int row.e17_analytic_rounds;
+        ])
+    rows;
+  table
+
+let e17_critical_path ?(quick = false) () = e17_table_of (e17_data ~quick ())
+
 let registry : (string * (?quick:bool -> unit -> Stats.Table.t)) list =
   [
     ("E1", e1_messages);
@@ -1114,6 +1291,7 @@ let registry : (string * (?quick:bool -> unit -> Stats.Table.t)) list =
     ("E14", e14_audit_complexity);
     ("E15", e15_batching);
     ("E16", e16_telemetry);
+    ("E17", e17_critical_path);
   ]
 
 let all ?(quick = false) () =

@@ -1,6 +1,6 @@
 (** The paper's evaluation, reproduced as tables.
 
-    One function per experiment in DESIGN.md's index (E1–E16); each returns
+    One function per experiment in DESIGN.md's index (E1–E17); each returns
     the rendered table(s) that `bench/main.exe` prints and EXPERIMENTS.md
     records. [quick] shrinks the workloads for use inside the test suite;
     the default sizes are what the committed EXPERIMENTS.md numbers come
@@ -143,6 +143,47 @@ val e16_telemetry : ?quick:bool -> unit -> Stats.Table.t
     queue, NIC serialization backlog, causal delay-queue depth, total-order
     backlog, lock waiters, undecided transactions — plus a knee column
     marking where batching stops paying and which resource saturated. *)
+
+type e17_row = {
+  e17_protocol : string;
+  e17_mode : string;  (** ["isolated"] (Part A) or ["load"] (Part B) *)
+  e17_batch : int;  (** frame capacity; 1 for the isolated rows *)
+  e17_txns : int;  (** committed transactions profiled (whole run) *)
+  e17_p50_ms : float;
+      (** median critical-path latency over the profiled paths *)
+  e17_shares : (string * float) list;
+      (** {!Critpath.seg_name} -> fraction of summed commit latency, one
+          entry per segment kind in {!Critpath.all_segs} order *)
+  e17_dominant : string;  (** segment with the largest total blame *)
+  e17_max_residual_us : int;
+      (** worst per-transaction unattributed time — ~0 by construction,
+          and the benchmark regression gate asserts it stays under 1 *)
+  e17_rounds : int;
+      (** tagged delivery hops on the walked path, identical across every
+          path of the run (or -1: load rows, where unrelated traffic
+          legitimately stands in for acknowledgments) *)
+  e17_analytic_rounds : int;  (** E14's closed form; -1 on load rows *)
+}
+
+val e17_data : ?quick:bool -> unit -> e17_row list
+(** The raw E17 grid, for the benchmark driver's JSON series: three
+    isolated rows (one client loop on one site, constant 1ms links — the
+    per-path tagged hop count must equal E14's closed-form round depth:
+    reliable 2, causal 2, atomic 1) followed by the E15 saturation sweep
+    (protocol x batch size) re-run with span + audit collection and the
+    commit latency decomposed into per-segment blame. Deterministic and
+    pool-size independent like {!all}. *)
+
+val e17_table_of : e17_row list -> Stats.Table.t
+(** Render a computed grid without re-running it — the benchmark driver
+    prints the table {e and} serializes the same rows to BENCH_*.json. *)
+
+val e17_critical_path : ?quick:bool -> unit -> Stats.Table.t
+(** Critical-path blame decomposition: where each committed transaction's
+    latency went, segment by segment ({!Critpath}), across load and batch
+    size — with the measured round depth cross-checked against E14's
+    closed forms on the isolated runs, and the E16 knee resource expected
+    to reappear as the dominant per-transaction segment at saturation. *)
 
 val registry : (string * (?quick:bool -> unit -> Stats.Table.t)) list
 (** The experiments above, keyed by their DESIGN.md identifiers, in order,

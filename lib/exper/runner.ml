@@ -304,11 +304,13 @@ type sat_result = {
   sat_datagrams : int;
   sat_audit : Audit.Log.t;
   sat_sampler : Obs.Sampler.t;
+  sat_recorder : Obs.Recorder.t;
 }
 
 let run_saturation ?config ?(profile = Workload.default)
     ?(load = Workload.closed_loop_default) ?(seed = 42)
-    ?(collect_audit = false) ?sample_every ?clients_on ~n_sites protocol =
+    ?(collect_spans = false) ?(collect_audit = false) ?sample_every ?clients_on
+    ~n_sites protocol =
   Workload.validate_closed_loop load;
   let has_clients =
     match clients_on with
@@ -330,7 +332,12 @@ let run_saturation ?config ?(profile = Workload.default)
     | Some interval -> Obs.Sampler.create ~interval ()
     | None -> base.Repdb.Config.sampler
   in
-  let config = { base with Repdb.Config.audit; sampler } in
+  let recorder =
+    if collect_spans then Obs.Recorder.create () else base.Repdb.Config.obs
+  in
+  let config =
+    { base with Repdb.Config.audit; sampler; obs = recorder }
+  in
   let system = P.create engine config ~history in
   install_sim_probes sampler engine;
   let w_start = load.Workload.warmup in
@@ -375,6 +382,10 @@ let run_saturation ?config ?(profile = Workload.default)
   done;
   Sim.Engine.run_until engine w_end;
   Sim.Engine.run_until engine (Sim.Time.add w_end (Sim.Time.of_sec 3.0));
+  (* Undecided stragglers keep open phase spans; balance the trace so the
+     critical-path profiler (which only walks decided transactions) sees a
+     well-formed stream. *)
+  Obs.Recorder.close_dangling recorder ~at:(Sim.Engine.now engine);
   ignore (Audit.Log.finalize audit);
   (* Windowed sequencer wire cost: assignments of one batched sweep share a
      (sequencer, frame) tag and travelled as one datagram. *)
@@ -398,6 +409,7 @@ let run_saturation ?config ?(profile = Workload.default)
     sat_datagrams = Net.Net_stats.datagrams (P.net_stats system);
     sat_audit = audit;
     sat_sampler = sampler;
+    sat_recorder = recorder;
   }
 
 let check_execution ?require_all_decided ?deadlock_free result =

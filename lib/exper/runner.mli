@@ -126,6 +126,10 @@ type sat_result = {
       (** the run's telemetry sampler — disabled unless [sample_every] was
           given; experiment E16 reads the per-resource time series out of
           it to attribute the saturation knee *)
+  sat_recorder : Obs.Recorder.t;
+      (** the run's span recorder — disabled unless [collect_spans] was
+          set; experiment E17 feeds its events (with the audit log's) to
+          the critical-path profiler for per-segment blame under load *)
 }
 
 val run_saturation :
@@ -133,6 +137,7 @@ val run_saturation :
   ?profile:Workload.profile ->
   ?load:Workload.closed_loop ->
   ?seed:int ->
+  ?collect_spans:bool ->
   ?collect_audit:bool ->
   ?sample_every:Sim.Time.t ->
   ?clients_on:Net.Site_id.t list ->

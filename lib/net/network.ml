@@ -1,5 +1,11 @@
 type loss = { drop_probability : float; rto : Sim.Time.t }
 
+type rx_timing = {
+  rx_sent : Sim.Time.t;
+  rx_depart : Sim.Time.t;
+  rx_arrive : Sim.Time.t;
+}
+
 type 'm t = {
   engine : Sim.Engine.t;
   n : int;
@@ -25,6 +31,9 @@ type 'm t = {
   stats : Net_stats.t;
   (* scheduled-but-undelivered datagrams, for telemetry probes *)
   mutable in_flight : int;
+  (* timestamps of the datagram currently being handed to a handler;
+     [Some] only for the dynamic extent of the handler call *)
+  mutable rx : rx_timing option;
 }
 
 let validate_loss ~who = function
@@ -53,6 +62,7 @@ let create engine ~n ~latency ?(classify = fun _ -> "msg")
     stats = Net_stats.create ();
     tx_clock = Array.make n Sim.Time.zero;
     in_flight = 0;
+    rx = None;
   }
 
 let engine t = t.engine
@@ -60,6 +70,7 @@ let n_sites t = t.n
 let sites t = Site_id.all ~n:t.n
 let stats t = t.stats
 let in_flight t = t.in_flight
+let rx_timing t = t.rx
 
 (* Telemetry probes over the link/NIC clocks: called only on sampling
    ticks, never on the send hot path, so an O(n^2) scan is fine. *)
@@ -152,13 +163,20 @@ let deliver_scheduled t ~src ~dst msg =
   let at = Sim.Time.max earliest t.link_clock.(slot) in
   t.link_clock.(slot) <- at;
   t.in_flight <- t.in_flight + 1;
+  let timing = { rx_sent = now; rx_depart = departure; rx_arrive = at } in
   let callback () =
     t.in_flight <- t.in_flight - 1;
     if t.up.(dst) then begin
       match t.handlers.(dst) with
       | Some handler ->
         record t ~src ~dst "deliver" msg;
-        handler ~src msg
+        (* Expose this datagram's wire timestamps for the dynamic extent
+           of the handler call only — receivers that care (the critical-
+           path profiler's audit plumbing) read them synchronously;
+           everything else never observes the field. *)
+        t.rx <- Some timing;
+        Fun.protect ~finally:(fun () -> t.rx <- None) (fun () ->
+            handler ~src msg)
       | None ->
         record t ~src ~dst "drop(nohandler)" msg;
         Net_stats.record_drop t.stats ~category:(t.classify msg)

@@ -66,6 +66,28 @@ val in_flight : 'm t -> int
 (** Datagrams scheduled but not yet delivered (includes copies that will
     be dropped at delivery time). *)
 
+type rx_timing = {
+  rx_sent : Sim.Time.t;
+      (** when the sender handed the datagram to the network (for a lossy
+          link, before any ARQ retransmissions) *)
+  rx_depart : Sim.Time.t;
+      (** when it cleared the sender's NIC and entered the link; equals
+          [rx_sent] for self-deliveries or when [tx_time] is zero *)
+  rx_arrive : Sim.Time.t;  (** its delivery time at the receiver *)
+}
+(** Wire-level timestamps of one received datagram, the raw material of
+    the critical-path profiler's latency blame segments:
+    [rx_depart - rx_sent] is NIC serialization wait,
+    [rx_arrive - rx_depart] is link latency (including ARQ retries and
+    FIFO head-of-line blocking). *)
+
+val rx_timing : 'm t -> rx_timing option
+(** The timestamps of the datagram currently being delivered — [Some]
+    exactly during the dynamic extent of a handler invocation, [None]
+    otherwise. Handlers that record per-message timing read it
+    synchronously; a purely read-only accessor, so it never perturbs the
+    schedule. *)
+
 val busy_links : 'm t -> int
 (** Ordered site pairs whose FIFO link clock is in the future — links that
     still have traffic queued or in transit ahead of [now]. *)

@@ -42,7 +42,7 @@ let chrome_event (e : Span.event) =
       (Sim.Time.to_us e.Span.at)
       e.Span.site (tid e) args
 
-let chrome_trace events =
+let chrome_trace ?(objects = []) events =
   let buf = Buffer.create 65536 in
   Buffer.add_string buf "{\"traceEvents\":[";
   let first = ref true in
@@ -63,6 +63,7 @@ let chrome_trace events =
            site site))
     sites;
   List.iter (fun e -> emit (chrome_event e)) events;
+  List.iter emit objects;
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents buf
 
@@ -201,10 +202,10 @@ let validate events =
   in
   go Sim.Time.zero events
 
-let write_file ~path ?ring ?extra events =
+let write_file ~path ?ring ?extra ?objects events =
   let contents =
     if Filename.check_suffix path ".jsonl" then jsonl ?ring ?extra events
-    else chrome_trace events
+    else chrome_trace ?objects events
   in
   let oc = open_out path in
   output_string oc contents;

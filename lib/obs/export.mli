@@ -9,10 +9,13 @@
     broadcast / vote-collect segments, and decision instants on every
     replica. Timestamps are the simulator's microseconds verbatim. *)
 
-val chrome_trace : Span.event list -> string
+val chrome_trace : ?objects:string list -> Span.event list -> string
 (** A complete JSON object ([{"traceEvents":[...]}]). Events must be
     balanced — run {!validate} first, or produce them via {!Recorder}
-    (balanced by construction once [close_dangling] ran). *)
+    (balanced by construction once [close_dangling] ran). [objects] are
+    complete trace-event JSON objects appended verbatim after the span
+    events — the critical-path profiler's flow arrows
+    ([ph]:"s"/"t"/"f") ride along this way. *)
 
 val jsonl :
   ?ring:Sim.Trace.t -> ?extra:(int * string) list -> Span.event list -> string
@@ -40,8 +43,9 @@ val write_file :
   path:string ->
   ?ring:Sim.Trace.t ->
   ?extra:(int * string) list ->
+  ?objects:string list ->
   Span.event list ->
   unit
 (** Dispatch on extension: [.jsonl] gets {!jsonl}, anything else Chrome
     trace JSON ([ring] and [extra] are ignored there — Chrome has no
-    place for them). *)
+    place for them; [objects] only applies to the Chrome form). *)

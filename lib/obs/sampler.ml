@@ -105,6 +105,11 @@ let attach t engine =
 let probes t = List.rev_map (fun p -> (p.p_name, p.p_labels)) t.probes
 let samples t = List.rev t.rows
 
+let last_values t =
+  match t.rows with
+  | [] -> []
+  | (_, row) :: _ -> List.mapi (fun i p -> (p, row.(i))) (probes t)
+
 let final_values t =
   List.rev_map
     (fun p ->

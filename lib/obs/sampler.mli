@@ -69,10 +69,16 @@ val samples : t -> (Sim.Time.t * float array) list
     probe, in {!probes} order. *)
 
 val final_values : t -> ((string * (string * string) list) * float) list
-(** Each probe's value {e now}: gauges re-read their closure, delta probes
-    report the cumulative increase since registration. Used by
-    [run --metrics] to export end-of-run gauge values alongside counters.
-    Empty on a disabled sampler. *)
+(** Each probe's {e run-total} value: gauges re-read their closure, delta
+    probes report the cumulative increase since registration (not the last
+    window's increment — that is {!last_values}). [run --metrics] exports
+    these as [probe_<name>_total] gauges. Empty on a disabled sampler. *)
+
+val last_values : t -> ((string * (string * string) list) * float) list
+(** Each probe's value in the {e last recorded tick row}: gauges as
+    sampled then, delta probes the increase over the final window only.
+    [run --metrics] exports these as [probe_<name>_last] gauges, alongside
+    the [_total]s. Empty before the first tick or on a disabled sampler. *)
 
 (** {2 Export}
 

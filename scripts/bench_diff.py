@@ -17,6 +17,12 @@ families are compared, with different strictness:
         contract_ok must stay true.
     - e16_saturation rows, matched by (protocol, batch):
         tps / p95_ms under the same thresholds.
+    - e17_critpath rows, matched by (protocol, mode, batch), checked
+      as absolute invariants on the fresh run (no baseline needed):
+        max_residual_us must stay under 1 (the profiler attributed
+        every microsecond of every commit latency), and on isolated
+        rows the measured critical-path rounds must equal the closed
+        form (analytic_rounds).
     - a baseline row with no matching fresh row is a failure (a sweep
       point silently vanished); fresh-only rows are informational.
 
@@ -86,6 +92,48 @@ def diff_sim_section(section, baseline, fresh, problems):
         print(f"note  {section} {key[0]}/batch={key[1]}: new row (no baseline)")
 
 
+def e17_rows_by_key(doc):
+    return {
+        (r["protocol"], r.get("mode", "load"), r["batch"]): r
+        for r in doc.get("e17_critpath") or []
+    }
+
+
+def diff_e17(baseline, fresh, problems):
+    fresh_rows = e17_rows_by_key(fresh)
+    # Absolute invariants: every fresh row must hold them, with or
+    # without a baseline counterpart.
+    for key, row in sorted(fresh_rows.items()):
+        proto, mode, batch = key
+        label = f"e17_critpath {proto}/{mode}/batch={batch}"
+        resid = row.get("max_residual_us")
+        if not isinstance(resid, int) or resid >= 1:
+            problems.append(
+                f"{label}: max residual {resid!r}us >= 1us "
+                "(unattributed critical-path time)"
+            )
+        analytic = row.get("analytic_rounds", -1)
+        if isinstance(analytic, int) and analytic >= 0:
+            if row.get("rounds") != analytic:
+                problems.append(
+                    f"{label}: critical-path rounds {row.get('rounds')!r} "
+                    f"!= closed form {analytic}"
+                )
+            else:
+                print(f"ok    {label}: rounds {analytic} match closed form")
+    base_rows = e17_rows_by_key(baseline)
+    for key in sorted(set(base_rows) - set(fresh_rows)):
+        problems.append(
+            f"e17_critpath {key[0]}/{key[1]}/batch={key[2]}: "
+            "row missing from fresh run"
+        )
+    for key in sorted(set(fresh_rows) - set(base_rows)):
+        print(
+            f"note  e17_critpath {key[0]}/{key[1]}/batch={key[2]}: "
+            "new row (no baseline)"
+        )
+
+
 def diff_micro(baseline, fresh, warnings):
     base = {m["name"]: m.get("ns_per_op") for m in baseline.get("micro") or []}
     for m in fresh.get("micro") or []:
@@ -117,6 +165,7 @@ def main():
     problems, warnings = [], []
     diff_sim_section("e15_batching", baseline, fresh, problems)
     diff_sim_section("e16_saturation", baseline, fresh, problems)
+    diff_e17(baseline, fresh, problems)
     diff_micro(baseline, fresh, warnings)
 
     for w in warnings:

@@ -14,25 +14,36 @@ Accepts both formats `repdb_sim --trace` writes:
               time series (`run --series`): one header naming every
               probe, then one row of values per sampling tick.
   * (else)    Chrome trace-event JSON: {"traceEvents":[...]} with
-              ph B/E/i/M, pid = site, ts in microseconds — or an
-              audit report ({"stream":"audit-report"}, the output of
-              `run --audit-report` / `audit --json`).
+              ph B/E/i/M (plus s/t/f flow chains, as written by
+              `explain --flow`), pid = site, ts in microseconds — or
+              an audit report ({"stream":"audit-report"}, the output
+              of `run --audit-report` / `audit --json`) — or a
+              critical-path blame document ({"stream":"critpath"},
+              the output of `explain --json`).
 
 Checks, per file:
   - parses at all, and contains at least one event;
   - timestamps are non-decreasing in emission order (metadata events
-    excluded — Chrome 'M' events carry no ts);
+    excluded — Chrome 'M' events carry no ts; flow s/t/f events are
+    appended after the span events and checked per chain instead);
   - begin/end pairs balance per (pid, tid) lane, ends match an open
     begin, and nothing is left open at the end;
+  - flow chains, when present: each id runs s -> t* -> f with
+    non-decreasing timestamps;
   - audit lines, when present: exactly one schema header of a known
     version, every event of a known type with its required fields,
-    site/origin indices within the header's site count;
+    site/origin indices within the header's site count, and each
+    deliver's datagram timing (when carried) monotone:
+    t_sent <= t_depart <= t_arrive <= ts_us;
   - audit reports: known schema version, counters present, every
     violation carrying a monitor name and a non-empty causal slice;
   - series lines, when present: exactly one header (known schema
     version, positive integer interval, well-formed probe list)
     preceding every row, integer non-decreasing row timestamps, and
-    every row carrying exactly one numeric value per probe.
+    every row carrying exactly one numeric value per probe;
+  - critpath documents: known schema, a blame row per segment kind,
+    and every transaction row telescoping — contiguous segments
+    summing exactly to decide minus submit, residual under 1us.
 
 Exit status: 0 if every file passes, 1 otherwise. Used by CI on the
 traces produced for each protocol and for the audited chaos replays.
@@ -41,13 +52,15 @@ traces produced for each protocol and for the audited chaos replays.
 import json
 import sys
 
-AUDIT_SCHEMA_VERSION = 2
+AUDIT_SCHEMA_VERSION = 3
 
 # Required extra fields per audit event type ("msg" expands to the
 # origin/cls/seq triple every message-carrying event embeds inline).
 # v2: "send" and "order" events may additionally carry an optional
 # integer "frame" — the wire frame a batched broadcast was coalesced
 # into / the sequencer sweep a batched assignment travelled in.
+# v3: "deliver" events may additionally carry the datagram's wire
+# timing (t_sent/t_depart/t_arrive) for critical-path attribution.
 AUDIT_EVENT_FIELDS = {
     "send": ["msg", "vc"],
     "deliver": ["msg", "site", "vc", "flush"],
@@ -103,6 +116,24 @@ def check_audit_lines(path, lines):
             if isinstance(v, int) and not 0 <= v < n_sites:
                 return fail(
                     path, f"line {n}: {site_field}={v} outside 0..{n_sites - 1}"
+                )
+        timing = [f for f in ("t_sent", "t_depart", "t_arrive") if f in obj]
+        if timing:
+            if ty != "deliver":
+                return fail(path, f"line {n}: {ty} must not carry wire timing")
+            if len(timing) != 3:
+                return fail(
+                    path, f"line {n}: partial wire timing (only {timing})"
+                )
+            ts, td, ta = obj["t_sent"], obj["t_depart"], obj["t_arrive"]
+            for f, v in (("t_sent", ts), ("t_depart", td), ("t_arrive", ta)):
+                if not isinstance(v, int):
+                    return fail(path, f"line {n}: {f}={v!r} is not an integer")
+            if not ts <= td <= ta <= obj["ts_us"]:
+                return fail(
+                    path,
+                    f"line {n}: wire timing not monotone: "
+                    f"sent={ts} depart={td} arrive={ta} deliver={obj['ts_us']}",
                 )
         if "frame" in obj:
             frame = obj["frame"]
@@ -257,20 +288,105 @@ def check_events(path, events):
     return True
 
 
+SEGMENT_KINDS = (
+    "local", "lock-wait", "batch-wait", "nic-serialize", "link-latency",
+    "ordering-wait", "timer-wait", "delivery", "unattributed",
+)
+
+
+def check_critpath(path, doc):
+    if doc.get("schema") != 1:
+        return fail(path, f"critpath schema {doc.get('schema')!r}, expected 1")
+    n_txns = doc.get("n_txns")
+    if not isinstance(n_txns, int) or n_txns < 0:
+        return fail(path, f"bad n_txns {n_txns!r}")
+    blame = doc.get("blame")
+    if not isinstance(blame, list):
+        return fail(path, "missing blame list")
+    segs = [b.get("seg") for b in blame]
+    if n_txns > 0 and segs != list(SEGMENT_KINDS):
+        return fail(path, f"blame rows {segs} != the segment taxonomy")
+    txns = doc.get("txns")
+    if not isinstance(txns, list):
+        return fail(path, "missing txns list")
+    if len(txns) > n_txns:
+        return fail(path, f"{len(txns)} txn rows for n_txns={n_txns}")
+    for i, t in enumerate(txns):
+        label = f"txn row {i} ({t.get('txn')!r})"
+        for field in ("submit_us", "decide_us", "latency_us", "residual_us"):
+            if not isinstance(t.get(field), int):
+                return fail(path, f"{label}: missing integer {field!r}")
+        if t["latency_us"] != t["decide_us"] - t["submit_us"]:
+            return fail(path, f"{label}: latency_us != decide_us - submit_us")
+        if t["residual_us"] >= 1:
+            return fail(
+                path, f"{label}: residual {t['residual_us']}us >= 1us"
+            )
+        at = t["submit_us"]
+        total = 0
+        for j, s in enumerate(t.get("segments") or []):
+            if s.get("seg") not in SEGMENT_KINDS:
+                return fail(path, f"{label}: segment {j} kind {s.get('seg')!r}")
+            if s.get("from_us") != at:
+                return fail(
+                    path,
+                    f"{label}: segment {j} starts at {s.get('from_us')}, "
+                    f"expected {at} (chain must be contiguous)",
+                )
+            if s.get("us") != s.get("to_us") - s.get("from_us"):
+                return fail(path, f"{label}: segment {j} us != to - from")
+            at = s["to_us"]
+            total += s["us"]
+        if at != t["decide_us"] or total != t["latency_us"]:
+            return fail(
+                path,
+                f"{label}: segments sum to {total}us / end at {at}, "
+                f"latency {t['latency_us']}us decide {t['decide_us']}",
+            )
+    print(f"{path}: critpath OK ({n_txns} txns, {len(txns)} rows checked)")
+    return True
+
+
+def check_flows(path, flows):
+    """flows: (ts, id, ph) for every s/t/f event, in emission order."""
+    chains = {}
+    for ts, fid, ph in flows:
+        chains.setdefault(fid, []).append((ts, ph))
+    for fid, chain in chains.items():
+        phs = "".join(ph for _, ph in chain)
+        if not (phs.startswith("s") and phs.endswith("f") and
+                set(phs[1:-1]) <= {"t"}):
+            return fail(path, f"flow {fid}: phase chain {phs!r}, not s t* f")
+        tss = [ts for ts, _ in chain]
+        if tss != sorted(tss):
+            return fail(path, f"flow {fid}: timestamps not non-decreasing")
+    if chains:
+        print(f"{path}: flows OK ({len(chains)} chain(s))")
+    return True
+
+
 def check_chrome(path):
     with open(path) as f:
         doc = json.load(f)
     if isinstance(doc, dict) and doc.get("stream") == "audit-report":
         return check_audit_report(path, doc)
+    if isinstance(doc, dict) and doc.get("stream") == "critpath":
+        return check_critpath(path, doc)
     if not isinstance(doc, dict) or "traceEvents" not in doc:
-        raise ValueError("not a traceEvents object or audit report")
+        raise ValueError("not a traceEvents object, audit report or critpath")
     events = []
+    flows = []
     for e in doc["traceEvents"]:
         ph = e.get("ph", "")
         if ph == "M":  # metadata (process/thread names): no timestamp
             continue
+        if ph in ("s", "t", "f"):
+            # flow chains are appended after the span events, so they are
+            # ordered per chain, not globally
+            flows.append((e["ts"], e.get("id"), ph))
+            continue
         events.append((e["ts"], (e.get("pid"), e.get("tid")), ph))
-    return check_events(path, events)
+    return check_events(path, events) and check_flows(path, flows)
 
 
 def check_jsonl(path):
